@@ -1,0 +1,77 @@
+"""Ablation — CHC rounding threshold ``rho`` and commitment level ``r``.
+
+DESIGN.md calls out two CHC design choices to ablate:
+
+- the rounding threshold: Theorem 3 derives ``rho* = (3 - sqrt(5))/2``;
+  the bench sweeps rho and checks the measured cost at ``rho*`` is within
+  a small factor of the best swept threshold (the theory optimizes a
+  worst-case bound, so it need not be the empirical argmin, but it should
+  never be far off);
+- the commitment level: CHC interpolates between RHC-like (r=1) and AFHC
+  (r=w).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.online import CHC, OnlineSolveSettings
+from repro.core.rounding import optimal_rounding_threshold
+from repro.sim.engine import evaluate_plan
+from repro.sim.experiment import paper_scenario
+
+_SETTINGS = OnlineSolveSettings(max_iter=30, gap_tol=2e-3, ub_patience=6)
+
+
+def _scenario(bench_scale):
+    return paper_scenario(seed=1, horizon=bench_scale.horizon, beta=50.0)
+
+
+def test_ablation_rho(benchmark, bench_scale, save_report):
+    scenario = _scenario(bench_scale)
+    rho_star = optimal_rounding_threshold()
+    rhos = (0.2, rho_star, 0.5, 0.7, 0.9)
+
+    def run():
+        totals = {}
+        for rho in rhos:
+            policy = CHC(window=10, commitment=5, rho=rho, settings=_SETTINGS)
+            totals[rho] = evaluate_plan(
+                scenario, policy.plan(scenario), policy_name=policy.name
+            ).cost.total
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["CHC rounding-threshold ablation (total cost)"]
+    for rho, total in totals.items():
+        marker = "  <- rho* (Theorem 3)" if abs(rho - rho_star) < 1e-9 else ""
+        lines.append(f"  rho={rho:.3f}  total={total:12.1f}{marker}")
+    save_report(f"ablation_rho_{bench_scale.name}", "\n".join(lines))
+
+    best = min(totals.values())
+    assert totals[rho_star] <= best * 1.05
+
+
+def test_ablation_commitment(benchmark, bench_scale, save_report):
+    scenario = _scenario(bench_scale)
+    levels = (1, 2, 5, 10)
+
+    def run():
+        totals = {}
+        for r in levels:
+            policy = CHC(window=10, commitment=r, settings=_SETTINGS)
+            totals[r] = evaluate_plan(
+                scenario, policy.plan(scenario), policy_name=policy.name
+            ).cost.total
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["CHC commitment-level ablation (total cost, w=10)"]
+    for r, total in totals.items():
+        note = " (RHC-like)" if r == 1 else " (AFHC)" if r == 10 else ""
+        lines.append(f"  r={r:<3d} total={total:12.1f}{note}")
+    save_report(f"ablation_commitment_{bench_scale.name}", "\n".join(lines))
+
+    values = np.array(list(totals.values()))
+    # All commitment levels stay within a modest band of each other.
+    assert values.max() <= values.min() * 1.25

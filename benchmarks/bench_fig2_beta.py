@@ -1,0 +1,65 @@
+"""Fig. 2 — impact of the cache replacement cost ``beta``.
+
+Regenerates all four panels: (a) total operating cost, (b) cache
+replacement cost, (c) number of cache replacements, (d) BS operating cost,
+for Offline / RHC / CHC / AFHC / LRFU over the beta grid.
+
+Shape expectations from the paper (asserted loosely):
+- every policy's total cost is non-decreasing in beta;
+- the offline optimum lower-bounds every policy at every beta;
+- LRFU's replacement *count* is flat in beta (it ignores beta) while the
+  online algorithms replace less as beta grows;
+- LRFU's total-cost growth rate in beta is the largest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.experiment import beta_sweep
+from repro.sim.report import render_sweep_table
+
+_PANELS = ("total", "replacement", "replacements", "bs_cost")
+
+
+def test_fig2_beta_sweep(benchmark, bench_scale, save_report):
+    sweep = benchmark.pedantic(
+        lambda: beta_sweep(
+            bench_scale.betas,
+            seeds=bench_scale.seeds,
+            horizon=bench_scale.horizon,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = "\n\n".join(
+        render_sweep_table(sweep, metric, title=f"Fig 2{panel} - {metric} vs beta")
+        for panel, metric in zip("abcd", _PANELS)
+    )
+    save_report(f"fig2_beta_{bench_scale.name}", text)
+
+    totals = sweep.table("total")
+    offline = np.array(totals["Offline"])
+    for name, series in totals.items():
+        arr = np.array(series)
+        # (1) offline lower-bounds everyone (small numerical slack).
+        assert np.all(arr >= offline - 0.01 * offline), name
+        # (2) total cost non-decreasing in beta (5% slack for seed noise).
+        assert np.all(np.diff(arr) >= -0.05 * arr[:-1]), name
+
+    # (3) LRFU ignores beta: its replacement count is exactly flat.
+    lrfu_repl = sweep.table("replacements")["LRFU"]
+    assert max(lrfu_repl) - min(lrfu_repl) < 1e-9
+
+    # (4) online algorithms replace less as beta rises (endpoints compare).
+    for name in ("RHC", "CHC", "AFHC"):
+        key = next(k for k in totals if k.startswith(name))
+        repl = sweep.table("replacements")[key]
+        assert repl[-1] <= repl[0] + 1e-9, key
+
+    # (5) LRFU's cost growth from smallest to largest beta is the steepest.
+    growth = {
+        name: series[-1] - series[0] for name, series in totals.items()
+    }
+    assert growth["LRFU"] >= max(g for n, g in growth.items() if n != "LRFU") - 1e-9

@@ -1,0 +1,49 @@
+"""Fig. 3 — impact of the prediction window ``w`` on the online algorithms.
+
+Panels: (a) total operating cost, (b) number of cache replacements, as the
+window grows. Expected shape: the online algorithms move toward the offline
+optimum as ``w`` grows (paper: "when the system has more prediction
+information ... the online algorithms perform better").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.experiment import window_sweep
+from repro.sim.report import render_sweep_table
+
+
+def test_fig3_window_sweep(benchmark, bench_scale, save_report):
+    sweep = benchmark.pedantic(
+        lambda: window_sweep(
+            bench_scale.windows,
+            seeds=bench_scale.seeds,
+            horizon=bench_scale.horizon,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = "\n\n".join(
+        (
+            render_sweep_table(sweep, "total", title="Fig 3a - total cost vs window"),
+            render_sweep_table(
+                sweep, "replacements", title="Fig 3b - # replacements vs window"
+            ),
+        )
+    )
+    save_report(f"fig3_window_{bench_scale.name}", text)
+
+    totals = sweep.table("total")
+    offline = np.array(totals["Offline"])
+    # Offline ignores w: flat series (cached invariant).
+    assert offline.max() - offline.min() < 1e-6 * offline.mean()
+
+    for name in ("RHC", "CHC", "AFHC"):
+        series = np.array(totals[name])
+        # Above offline at every w...
+        assert np.all(series >= offline - 0.01 * offline), name
+        # ...and the largest window is at least as good as the smallest
+        # (the paper's trend, with slack for seed noise).
+        assert series[-1] <= series[0] * 1.02, name

@@ -1,0 +1,44 @@
+"""Fig. 5 — impact of the prediction perturbation ``eta``.
+
+Expected shape: the online algorithms' total cost rises with eta while
+LRFU's (which uses accurate request data) and the offline optimum's stay
+exactly flat; at high eta the worst online algorithm approaches LRFU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.experiment import noise_sweep
+from repro.sim.report import render_sweep_table
+
+
+def test_fig5_noise_sweep(benchmark, bench_scale, save_report):
+    sweep = benchmark.pedantic(
+        lambda: noise_sweep(
+            bench_scale.etas,
+            seeds=bench_scale.seeds,
+            horizon=bench_scale.horizon,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = render_sweep_table(sweep, "total", title="Fig 5 - total cost vs eta")
+    save_report(f"fig5_noise_{bench_scale.name}", text)
+
+    totals = sweep.table("total")
+    # LRFU and Offline see noise-free information: exactly flat curves.
+    for flat in ("LRFU", "Offline"):
+        series = totals[flat]
+        assert max(series) - min(series) < 1e-9, flat
+
+    offline = np.array(totals["Offline"])
+    for name, series in totals.items():
+        arr = np.array(series)
+        assert np.all(arr >= offline - 0.01 * offline), name
+
+    # Online cost at the highest noise exceeds its noise-free cost.
+    for name in totals:
+        if name.startswith(("RHC", "CHC", "AFHC")):
+            assert totals[name][-1] >= totals[name][0] - 1e-9, name

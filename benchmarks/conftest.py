@@ -1,0 +1,89 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's evaluation artefacts (a
+figure panel series or the Section V-C(1) headline comparison), prints the
+series, and writes it under ``benchmarks/results/`` so the numbers can be
+diffed against EXPERIMENTS.md.
+
+Two scales are provided, selected by the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+- ``quick`` (default): horizon 40, coarser sweep grids, single seed —
+  every figure regenerates in minutes and the qualitative shapes hold.
+- ``full``: horizon 60 with the paper's full sweep grids — the scale used
+  to produce the numbers recorded in EXPERIMENTS.md.
+- ``paper``: the paper's horizon 100, full grids, two seeds (slowest).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    horizon: int
+    seeds: tuple[int, ...]
+    betas: tuple[float, ...]
+    windows: tuple[int, ...]
+    bandwidths: tuple[float, ...]
+    etas: tuple[float, ...]
+
+
+SCALES = {
+    "quick": BenchScale(
+        name="quick",
+        horizon=40,
+        seeds=(1,),
+        betas=(0.0, 50.0, 100.0, 200.0),
+        windows=(2, 6, 10),
+        bandwidths=(5.0, 15.0, 30.0),
+        etas=(0.0, 0.25, 0.5),
+    ),
+    "full": BenchScale(
+        name="full",
+        horizon=60,
+        seeds=(1,),
+        betas=(0.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0),
+        windows=(2, 4, 6, 8, 10, 12),
+        bandwidths=(5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+        etas=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    ),
+    "paper": BenchScale(
+        name="paper",
+        horizon=100,
+        seeds=(1, 2),
+        betas=(0.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0),
+        windows=(2, 4, 6, 8, 10, 12),
+        bandwidths=(5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+        etas=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

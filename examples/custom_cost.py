@@ -1,0 +1,65 @@
+"""Plugging in a different operating-cost model.
+
+The paper's representative cost is quadratic in the aggregate weighted load
+(Eqs. 5-6) but only requires a non-decreasing convex function; it cites the
+linear base-station energy model of Arnold et al. [23] as the alternative.
+This example runs the same scenario under both cost shapes and shows how
+the *shape* changes the optimal behaviour: under a linear cost only the
+total offloaded weight matters, so caching pressure is uniform; under the
+quadratic cost, shaving peaks is disproportionately valuable.
+
+Run:
+    python examples/custom_cost.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OfflineOptimal, Scenario
+from repro.network.costs import LinearOperatingCost, QuadraticOperatingCost
+from repro.network.topology import single_cell_network
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import diurnal_demand
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    network = single_cell_network(
+        num_items=10,
+        cache_size=3,
+        bandwidth=6.0,
+        replacement_cost=15.0,
+        omega_bs=rng.uniform(0.2, 1.0, 8),
+    )
+    demand = diurnal_demand(
+        24, 8, 10, rng=rng, period=24, peak_to_trough=4.0, density_range=(0.0, 2.5)
+    )
+
+    for label, cost in (
+        ("quadratic (paper Eq. 5)", QuadraticOperatingCost()),
+        ("linear (Arnold et al. [23])", LinearOperatingCost(scale=50.0)),
+    ):
+        scenario = Scenario(network=network, demand=demand, bs_cost=cost)
+        result = evaluate_plan(
+            scenario, OfflineOptimal(max_iter=100).plan(scenario), policy_name=label
+        )
+        per_slot = result.per_slot_total
+        peak_share = float(per_slot.max() / max(per_slot.sum(), 1e-9))
+        print(f"{label}")
+        print(
+            f"   total={result.cost.total:9.1f}  replacements="
+            f"{result.cost.replacements:3d}  peak-slot share={peak_share:.1%}"
+        )
+        bars = (per_slot / per_slot.max() * 30).astype(int)
+        for t in (6, 12, 18):
+            print(f"   slot {t:2d} cost {'*' * bars[t]}")
+    print(
+        "\nUnder the quadratic cost the optimizer works hardest at the"
+        "\ndiurnal peak; under the linear cost every offloaded unit is"
+        "\nworth the same wherever it lands."
+    )
+
+
+if __name__ == "__main__":
+    main()

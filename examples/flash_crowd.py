@@ -1,0 +1,77 @@
+"""Flash crowd: a video goes viral and the edge cache must react.
+
+Demonstrates why joint, switching-cost-aware optimization beats rule-based
+caching: a surge of demand for one item arrives mid-trace. RHC (with a
+10-slot forecast) prefetches the item just before the surge and keeps it
+exactly as long as profitable; LRFU reacts only after the surge begins and
+keeps churning the rest of its cache throughout.
+
+Run:
+    python examples/flash_crowd.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LRFU, RHC, OfflineOptimal, OnlineSolveSettings, Scenario
+from repro.network.topology import single_cell_network
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import flash_crowd_demand
+from repro.workload.predictor import PerturbedPredictor
+
+CROWD_ITEM = 0
+SURGE_START = 12
+SURGE_LEN = 8
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    network = single_cell_network(
+        num_items=12,
+        cache_size=3,
+        bandwidth=12.0,
+        replacement_cost=30.0,
+        omega_bs=rng.uniform(0.2, 1.0, 10),
+    )
+    demand = flash_crowd_demand(
+        36,
+        10,
+        12,
+        rng=rng,
+        crowd_item=CROWD_ITEM,
+        start=SURGE_START,
+        duration=SURGE_LEN,
+        magnitude=8.0,
+        density_range=(0.0, 2.0),
+    )
+    scenario = Scenario(
+        network=network,
+        demand=demand,
+        predictor=PerturbedPredictor(demand, eta=0.1, seed=3),
+    )
+
+    policies = {
+        "Offline": OfflineOptimal(max_iter=120),
+        "RHC": RHC(window=10, settings=OnlineSolveSettings(max_iter=30)),
+        "LRFU": LRFU(),
+    }
+    print(f"surge: item {CROWD_ITEM} x8 demand during slots "
+          f"{SURGE_START}..{SURGE_START + SURGE_LEN - 1}\n")
+    for name, policy in policies.items():
+        result = evaluate_plan(scenario, policy.plan(scenario), policy_name=name)
+        cached = "".join(
+            "#" if result.x[t, 0, CROWD_ITEM] > 0.5 else "." for t in range(36)
+        )
+        print(f"{name:<8} viral item cached: {cached}")
+        print(
+            f"{'':<8} total={result.cost.total:9.1f}  "
+            f"replacements={result.cost.replacements}"
+        )
+    print("\n'#' marks slots where the viral item sits in the SBS cache;")
+    print("the surge spans slots "
+          f"{SURGE_START}..{SURGE_START + SURGE_LEN - 1}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Multi-cell deployment: three heterogeneous SBSs under one macro BS.
+
+The paper evaluates a single SBS and notes that "when considering multiple
+SBSs, the final results are the sum of each SBS" - the model is natively
+multi-cell, and this library implements it that way. This example builds a
+downtown/residential/highway trio with different cache sizes, bandwidths,
+and replacement costs, and shows the per-SBS cache occupancy the offline
+optimum chooses.
+
+Run:
+    python examples/multi_cell.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LRFU,
+    RHC,
+    ContentCatalog,
+    MUClass,
+    Network,
+    OfflineOptimal,
+    OnlineSolveSettings,
+    Scenario,
+    SmallBaseStation,
+)
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import paper_demand
+from repro.workload.predictor import PerturbedPredictor
+
+
+def build_network(rng: np.random.Generator) -> Network:
+    catalog = ContentCatalog(15)
+    sbss = (
+        # Downtown: big cache, big pipe, cheap refreshes (fiber backhaul).
+        SmallBaseStation(0, cache_size=5, bandwidth=10.0, replacement_cost=10.0),
+        # Residential: modest everything.
+        SmallBaseStation(1, cache_size=3, bandwidth=6.0, replacement_cost=25.0),
+        # Highway microcell: tiny cache, wireless backhaul makes updates dear.
+        SmallBaseStation(2, cache_size=2, bandwidth=4.0, replacement_cost=60.0),
+    )
+    classes = []
+    class_id = 0
+    for sbs_id, count in ((0, 4), (1, 3), (2, 2)):
+        for _ in range(count):
+            classes.append(
+                MUClass(class_id, sbs_id, omega_bs=float(rng.uniform(0.2, 1.0)))
+            )
+            class_id += 1
+    return Network(catalog, sbss, tuple(classes))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    network = build_network(rng)
+    demand = paper_demand(
+        30, network.num_classes, network.num_items, rng=rng, density_range=(0.0, 3.0)
+    )
+    scenario = Scenario(
+        network=network,
+        demand=demand,
+        predictor=PerturbedPredictor(demand, eta=0.1, seed=5),
+    )
+
+    for name, policy in (
+        ("Offline", OfflineOptimal(max_iter=120)),
+        ("RHC", RHC(window=8, settings=OnlineSolveSettings(max_iter=30))),
+        ("LRFU", LRFU()),
+    ):
+        result = evaluate_plan(scenario, policy.plan(scenario), policy_name=name)
+        print(f"{name}: total={result.cost.total:.1f} "
+              f"(BS={result.cost.bs_cost:.1f}, "
+              f"replacement={result.cost.replacement:.1f}, "
+              f"{result.cost.replacements} insertions)")
+        for sbs in network.sbss:
+            occupancy = result.x[:, sbs.sbs_id, :].sum(axis=1).mean()
+            swaps = int(
+                np.clip(
+                    np.diff(result.x[:, sbs.sbs_id, :], axis=0), 0, None
+                ).sum()
+            )
+            print(
+                f"   {sbs.name}: avg occupancy {occupancy:.1f}/{sbs.cache_size}, "
+                f"{swaps} swaps (beta={sbs.replacement_cost:g})"
+            )
+    print("\nNote how the optimum swaps freely at the fiber-backhauled SBS-0")
+    print("but keeps the expensive highway cell (SBS-2) nearly static.")
+
+
+if __name__ == "__main__":
+    main()

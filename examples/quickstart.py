@@ -1,0 +1,48 @@
+"""Quickstart: compare all policies on a small paper-style scenario.
+
+Builds a scaled-down version of the paper's Section V-B setting (one SBS,
+Zipf-Mandelbrot demand, noisy predictions), runs the offline optimum, the
+three online controllers, and the LRFU baseline, and prints the comparison
+the paper's Section V-C(1) reports.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import default_policies, paper_scenario, run_policies
+from repro.sim.runner import cost_ratios
+
+
+def main() -> None:
+    # A 30-slot scenario solves in well under a minute; bump horizon=100
+    # for the paper's full setting.
+    scenario = paper_scenario(seed=1, horizon=30, beta=50.0)
+    print(
+        f"scenario: K={scenario.network.num_items} contents, "
+        f"C={scenario.network.cache_sizes[0]} cache slots, "
+        f"B={scenario.network.bandwidths[0]:g} bandwidth, "
+        f"T={scenario.horizon} slots"
+    )
+
+    policies = default_policies(window=10)
+    results = run_policies(scenario, policies, verbose=True)
+
+    ratios = cost_ratios(results, reference="Offline")
+    lrfu_total = results["LRFU"].cost.total
+    print(f"\n{'policy':<16}{'total':>12}{'repl #':>8}{'vs offline':>12}{'vs LRFU':>10}")
+    for name, result in results.items():
+        saving = (1.0 - result.cost.total / lrfu_total) * 100.0
+        print(
+            f"{name:<16}{result.cost.total:>12.1f}{result.cost.replacements:>8d}"
+            f"{ratios[name]:>12.3f}{saving:>9.1f}%"
+        )
+    print(
+        "\nExpected shape (paper Sec. V-C): Offline <= RHC <= CHC/AFHC <= LRFU,"
+        "\nwith the online controllers close to offline."
+    )
+
+
+if __name__ == "__main__":
+    main()

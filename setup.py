@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP 660 editable-wheel
+path (no ``wheel`` package available). All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

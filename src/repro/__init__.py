@@ -1,0 +1,103 @@
+"""repro — joint online edge caching and load balancing for 5G offloading.
+
+A complete implementation of Zeng, Huang, Liu & Yang, *"Joint Online Edge
+Caching and Load Balancing for Mobile Data Offloading in 5G Networks"*
+(ICDCS 2019): the network/cost model (Section II), the offline primal-dual
+algorithm with exact integral caching (Section III), the integer-safe
+online controllers RHC / AFHC / CHC with the Theorem-3 rounding policy
+(Section IV), the LRFU baseline, and the full evaluation harness for the
+paper's figures (Section V).
+
+Quickstart
+----------
+>>> from repro import paper_scenario, default_policies, run_policies
+>>> scenario = paper_scenario(seed=1, horizon=20)
+>>> results = run_policies(scenario, default_policies(window=5))
+>>> sorted(results)  # doctest: +NORMALIZE_WHITESPACE
+['AFHC(w=5)', 'CHC(w=5,r=2)', 'LRFU', 'Offline', 'RHC(w=5)']
+"""
+
+from repro.baselines import BeladyVolume, FIFO, LFU, LRFU, LRU, NoCache, StaticTopK
+from repro.core.distributed import DistributedOfflineOptimal
+from repro.core.offline import OfflineOptimal
+from repro.core.online import AFHC, CHC, RHC, OnlineSolveSettings
+from repro.core.primal_dual import PrimalDualResult, solve_primal_dual
+from repro.core.problem import JointProblem
+from repro.network import (
+    BaseStation,
+    ContentCatalog,
+    CostBreakdown,
+    MUClass,
+    Network,
+    SmallBaseStation,
+)
+from repro.network.topology import single_cell_network
+from repro.scenario import CachingPolicy, PolicyPlan, Scenario
+from repro.sim import (
+    RunResult,
+    SweepResult,
+    bandwidth_sweep,
+    beta_sweep,
+    default_policies,
+    evaluate_plan,
+    headline_comparison,
+    noise_sweep,
+    paper_scenario,
+    run_policies,
+    run_policy,
+    window_sweep,
+)
+from repro.workload import (
+    DemandMatrix,
+    PerfectPredictor,
+    PerturbedPredictor,
+    paper_demand,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AFHC",
+    "BaseStation",
+    "BeladyVolume",
+    "CHC",
+    "CachingPolicy",
+    "ContentCatalog",
+    "CostBreakdown",
+    "DemandMatrix",
+    "DistributedOfflineOptimal",
+    "FIFO",
+    "JointProblem",
+    "LFU",
+    "LRFU",
+    "LRU",
+    "MUClass",
+    "Network",
+    "NoCache",
+    "OfflineOptimal",
+    "OnlineSolveSettings",
+    "PerfectPredictor",
+    "PerturbedPredictor",
+    "PolicyPlan",
+    "PrimalDualResult",
+    "RHC",
+    "RunResult",
+    "Scenario",
+    "SmallBaseStation",
+    "StaticTopK",
+    "SweepResult",
+    "bandwidth_sweep",
+    "beta_sweep",
+    "default_policies",
+    "evaluate_plan",
+    "headline_comparison",
+    "noise_sweep",
+    "paper_demand",
+    "paper_scenario",
+    "run_policies",
+    "run_policy",
+    "single_cell_network",
+    "solve_primal_dual",
+    "window_sweep",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baseline caching policies.
+
+- :class:`LRFU` — the paper's comparison baseline (Section V-A): each slot
+  every SBS caches the top-``C_n`` contents by current request volume.
+- :class:`LFU`, :class:`LRU`, :class:`FIFO` — the classic rule-based
+  policies the related-work section surveys, driven at slot granularity.
+- :class:`StaticTopK` — clairvoyant static cache (never replaces).
+- :class:`NoCache` — serves everything from the BS (upper reference).
+- :class:`BeladyVolume` — clairvoyant hit-volume-optimal caching, showing
+  that hit ratio is the wrong objective under weighted costs.
+"""
+
+from repro.baselines.belady import BeladyVolume
+from repro.baselines.classic import FIFO, LFU, LRU
+from repro.baselines.hysteresis import HysteresisCache
+from repro.baselines.lrfu import LRFU
+from repro.baselines.static import NoCache, StaticTopK
+
+__all__ = [
+    "BeladyVolume",
+    "FIFO",
+    "HysteresisCache",
+    "LFU",
+    "LRFU",
+    "LRU",
+    "NoCache",
+    "StaticTopK",
+]

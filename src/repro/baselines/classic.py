@@ -1,0 +1,146 @@
+"""Classic rule-based cache replacement: LFU, LRU, FIFO.
+
+The related-work section of the paper surveys these as the first family of
+edge-caching schemes ("FIFO, Least Recently Used (LRU), Least Frequently
+Used (LFU), or their variants"). They are implemented here at slot
+granularity over the demand trace:
+
+- Every slot, items with positive demand at an SBS are *candidates*.
+- A candidate missing from the cache is inserted if the policy's score
+  ranks it above the current worst cached item (which is then evicted);
+  plain insert-on-any-request would thrash when more than ``C_n`` items
+  are requested per slot, which is the common case in the paper's setting.
+- Scores: LFU — cumulative request volume; LRU — last-requested slot
+  (ties by current volume); FIFO — insertion slot (never "refreshed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.scenario import PolicyPlan, Scenario
+from repro.types import FloatArray
+
+
+def _run_scored_policy(
+    scenario: Scenario,
+    score_update: Callable[[FloatArray, FloatArray, int], FloatArray],
+    *,
+    refresh_on_hit: bool,
+) -> FloatArray:
+    """Shared eviction loop; ``score_update(scores, volume, t)`` returns the
+    per-item scores after observing slot ``t`` (higher = more valuable)."""
+    net = scenario.network
+    T = scenario.horizon
+    K = net.num_items
+    x = np.zeros((T, net.num_sbs, K))
+    for n in range(net.num_sbs):
+        classes = net.classes_of_sbs[n]
+        cap = int(net.cache_sizes[n])
+        if cap == 0:
+            continue
+        cached: set[int] = set()
+        scores = np.zeros(K)
+        inserted_at = np.full(K, -1.0)
+        for t in range(T):
+            volume = scenario.demand.rates[t, classes, :].sum(axis=0)
+            scores = score_update(scores, volume, t)
+            requested = np.flatnonzero(volume > 0)
+            # Insert best-scoring missing candidates while they beat the
+            # worst cached item (or there is free space).
+            for k in sorted(requested, key=lambda i: -scores[i]):
+                if k in cached:
+                    if refresh_on_hit:
+                        inserted_at[k] = t
+                    continue
+                if len(cached) < cap:
+                    cached.add(k)
+                    inserted_at[k] = t
+                    continue
+                worst = min(cached, key=lambda i: (scores[i], inserted_at[i]))
+                if scores[k] > scores[worst]:
+                    cached.discard(worst)
+                    cached.add(k)
+                    inserted_at[k] = t
+            x[t, n, list(cached)] = 1.0
+    return x
+
+
+@dataclass(frozen=True)
+class LFU:
+    """Least Frequently Used: evict the smallest cumulative request volume."""
+
+    @property
+    def name(self) -> str:
+        return "LFU"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        def update(scores: FloatArray, volume: FloatArray, t: int) -> FloatArray:
+            return scores + volume
+
+        x = _run_scored_policy(scenario, update, refresh_on_hit=False)
+        return PolicyPlan(x=x, y=None, solves=0)
+
+
+@dataclass(frozen=True)
+class LRU:
+    """Least Recently Used: evict the item requested longest ago.
+
+    Slot-granular recency: the score of an item requested in slot ``t`` is
+    ``t`` plus a small volume tie-break within the slot.
+    """
+
+    @property
+    def name(self) -> str:
+        return "LRU"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        def update(scores: FloatArray, volume: FloatArray, t: int) -> FloatArray:
+            vmax = float(volume.max()) if volume.size else 0.0
+            tie = volume / (vmax + 1.0)
+            return np.where(volume > 0, t + tie, scores)
+
+        x = _run_scored_policy(scenario, update, refresh_on_hit=True)
+        return PolicyPlan(x=x, y=None, solves=0)
+
+
+@dataclass(frozen=True)
+class FIFO:
+    """First-In-First-Out: evict the oldest insertion.
+
+    Admission is filtered (a missing item enters only when its current-slot
+    volume beats the oldest cached item's current volume) so the policy
+    does not cycle the whole catalog through the cache every slot; eviction
+    order is strictly insertion time.
+    """
+
+    @property
+    def name(self) -> str:
+        return "FIFO"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        net = scenario.network
+        T = scenario.horizon
+        K = net.num_items
+        x = np.zeros((T, net.num_sbs, K))
+        for n in range(net.num_sbs):
+            classes = net.classes_of_sbs[n]
+            cap = int(net.cache_sizes[n])
+            if cap == 0:
+                continue
+            queue: list[int] = []  # oldest first
+            for t in range(T):
+                volume = scenario.demand.rates[t, classes, :].sum(axis=0)
+                for k in sorted(np.flatnonzero(volume > 0), key=lambda i: -volume[i]):
+                    if k in queue:
+                        continue
+                    if len(queue) < cap:
+                        queue.append(int(k))
+                    elif volume[k] > volume[queue[0]]:
+                        queue.pop(0)
+                        queue.append(int(k))
+                x[t, n, queue] = 1.0
+        return PolicyPlan(x=x, y=None, solves=0)

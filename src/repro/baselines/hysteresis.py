@@ -1,0 +1,105 @@
+"""Hysteresis caching: a prediction-free, switching-cost-aware online policy.
+
+The classic ski-rental/lazy-provisioning idea applied to per-item caching:
+track, for each item, the *cumulative foregone benefit* since it was last
+(not) cached, and change the cache only when that regret exceeds the
+replacement cost ``beta_n``. Unlike LRFU it never chases one-slot noise;
+unlike RHC it needs no forecasts at all — only the current slot's demand.
+
+Per SBS ``n`` and slot ``t``:
+
+1. score each item by its current-slot *offload value*: the demand volume
+   it could absorb, weighted by its requesters' ``omega`` (the same
+   quantity the optimum trades against bandwidth);
+2. accumulate ``regret[k] += max(score[k] - score[weakest cached], 0)``
+   for uncached items;
+3. when an uncached item's regret exceeds ``hysteresis * beta_n``, swap it
+   in for the currently weakest cached item and reset both regrets.
+
+This is a 2-competitive-style rule for each pairwise swap decision; it is
+included both as a stronger baseline than LRFU and as a reference point
+for how much of the online algorithms' gain requires predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.scenario import PolicyPlan, Scenario
+
+
+@dataclass(frozen=True)
+class HysteresisCache:
+    """Swap an item in only after its cumulative regret exceeds ``beta``.
+
+    Parameters
+    ----------
+    hysteresis:
+        Multiplier on ``beta_n`` before a swap fires. 1.0 is the
+        ski-rental break-even; larger values switch later (more inertia).
+    """
+
+    hysteresis: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hysteresis <= 0:
+            raise ConfigurationError(
+                f"hysteresis must be positive, got {self.hysteresis}"
+            )
+
+    @property
+    def name(self) -> str:
+        return "Hysteresis"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        net = scenario.network
+        T = scenario.horizon
+        K = net.num_items
+        x = np.zeros((T, net.num_sbs, K))
+        for n in range(net.num_sbs):
+            classes = net.classes_of_sbs[n]
+            cap = int(net.cache_sizes[n])
+            if cap == 0:
+                continue
+            beta = float(net.replacement_costs[n])
+            threshold = self.hysteresis * beta
+            omega = net.omega_bs[classes]
+            cached: np.ndarray = np.array([], dtype=np.int64)
+            regret = np.zeros(K)
+            for t in range(T):
+                volume = scenario.demand.rates[t, classes, :]  # (|M_n|, K)
+                score = (omega[:, None] * volume).sum(axis=0)  # (K,)
+
+                # Fill free slots immediately (first fetch is unavoidable).
+                if cached.size < cap:
+                    candidates = np.argsort(-score, kind="stable")
+                    for k in candidates:
+                        if cached.size >= cap:
+                            break
+                        if k not in cached and score[k] > 0:
+                            cached = np.append(cached, k)
+
+                if cached.size:
+                    weakest_idx = cached[np.argmin(score[cached])]
+                    floor = score[weakest_idx]
+                    # Accumulate regret for outside items beating the floor.
+                    outside = np.setdiff1d(
+                        np.arange(K), cached, assume_unique=False
+                    )
+                    regret[outside] += np.clip(score[outside] - floor, 0.0, None)
+                    regret[cached] = 0.0
+                    # Fire at most one swap per slot (cheapest sufficient).
+                    best_out = outside[np.argmax(regret[outside])] if outside.size else None
+                    if (
+                        best_out is not None
+                        and regret[best_out] > threshold
+                        and cached.size >= cap
+                    ):
+                        cached = cached[cached != weakest_idx]
+                        cached = np.append(cached, best_out)
+                        regret[best_out] = 0.0
+                x[t, n, cached] = 1.0
+        return PolicyPlan(x=x, y=None, solves=0)

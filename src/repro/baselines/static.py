@@ -1,0 +1,57 @@
+"""Static reference policies: clairvoyant top-K and no caching at all."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario import PolicyPlan, Scenario
+
+
+@dataclass(frozen=True)
+class StaticTopK:
+    """Cache the horizon-average top-``C_n`` items once and never replace.
+
+    Clairvoyant (it sees the whole trace) but static: with the paper's
+    stationary demand it pays replacement cost exactly once, which makes
+    it a useful lower reference for replacement-count plots.
+    """
+
+    @property
+    def name(self) -> str:
+        return "StaticTopK"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        net = scenario.network
+        T = scenario.horizon
+        x = np.zeros((T, net.num_sbs, net.num_items))
+        for n in range(net.num_sbs):
+            classes = net.classes_of_sbs[n]
+            cap = int(net.cache_sizes[n])
+            if cap == 0:
+                continue
+            volume = scenario.demand.rates[:, classes, :].sum(axis=(0, 1))  # (K,)
+            top = np.argsort(-volume, kind="stable")[:cap]
+            top = top[volume[top] > 0]
+            x[:, n, top] = 1.0
+        return PolicyPlan(x=x, y=None, solves=0)
+
+
+@dataclass(frozen=True)
+class NoCache:
+    """Serve every request from the BS (caches stay empty).
+
+    The upper reference: the worst admissible policy under the model, since
+    it forgoes all offloading and pays the full quadratic BS cost.
+    """
+
+    @property
+    def name(self) -> str:
+        return "NoCache"
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        x = np.zeros(
+            (scenario.horizon, scenario.network.num_sbs, scenario.network.num_items)
+        )
+        return PolicyPlan(x=x, y=None, solves=0)

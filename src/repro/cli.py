@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Examples
+--------
+::
+
+    repro fig2 --betas 0 50 100 --horizon 60 --seeds 1 2
+    repro fig3 --windows 2 4 6 8 10
+    repro fig4
+    repro fig5 --etas 0 0.25 0.5
+    repro headline --beta 50
+    repro demo --horizon 20
+
+Each command prints the text tables of the corresponding figure panels
+(see ``repro.sim.report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.sim.experiment import (
+    SweepResult,
+    bandwidth_sweep,
+    beta_sweep,
+    headline_comparison,
+    noise_sweep,
+    window_sweep,
+)
+from repro.sim.report import render_headline_table, render_sweep_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--horizon", type=int, default=100, help="timeslots T")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1], help="random seeds")
+    parser.add_argument(
+        "--window", type=int, default=10, help="prediction window w (ignored by fig3)"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("reoptimize", "as_decided"),
+        default="reoptimize",
+        help="how realized load balancing is computed (see sim.engine)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each metric as an ASCII chart",
+    )
+    parser.add_argument("--verbose", action="store_true")
+
+
+def _print_sweep(
+    sweep: SweepResult, metrics: Sequence[str], *, chart: bool = False
+) -> None:
+    for metric in metrics:
+        print()
+        print(render_sweep_table(sweep, metric))
+        if chart and len(sweep.points) > 1:
+            from repro.sim.ascii_chart import render_ascii_chart
+
+            print()
+            print(render_ascii_chart(sweep, metric))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the figures of 'Joint Online Edge Caching and "
+        "Load Balancing for Mobile Data Offloading in 5G Networks' (ICDCS'19).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p2 = sub.add_parser("fig2", help="beta sweep (Fig. 2a-2d)")
+    p2.add_argument(
+        "--betas", type=float, nargs="+", default=[0, 25, 50, 75, 100, 150, 200]
+    )
+    _add_common(p2)
+
+    p3 = sub.add_parser("fig3", help="prediction-window sweep (Fig. 3a-3b)")
+    p3.add_argument("--windows", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12])
+    _add_common(p3)
+
+    p4 = sub.add_parser("fig4", help="SBS bandwidth sweep (Fig. 4a-4b)")
+    p4.add_argument(
+        "--bandwidths", type=float, nargs="+", default=[5, 10, 15, 20, 25, 30]
+    )
+    _add_common(p4)
+
+    p5 = sub.add_parser("fig5", help="prediction-noise sweep (Fig. 5)")
+    p5.add_argument(
+        "--etas", type=float, nargs="+", default=[0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    )
+    _add_common(p5)
+
+    ph = sub.add_parser("headline", help="Section V-C(1) comparison point")
+    ph.add_argument("--beta", type=float, default=50.0)
+    _add_common(ph)
+
+    pd = sub.add_parser("demo", help="quick small-scale end-to-end run")
+    _add_common(pd)
+
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+
+    common = dict(
+        seeds=tuple(args.seeds),
+        mode=args.mode,
+        verbose=args.verbose,
+        horizon=args.horizon,
+    )
+
+    if args.command == "fig2":
+        sweep = beta_sweep(args.betas, window=args.window, **common)
+        _print_sweep(sweep, ("total", "replacement", "replacements", "bs_cost"), chart=args.chart)
+    elif args.command == "fig3":
+        sweep = window_sweep(args.windows, **common)
+        _print_sweep(sweep, ("total", "replacements"), chart=args.chart)
+    elif args.command == "fig4":
+        sweep = bandwidth_sweep(args.bandwidths, window=args.window, **common)
+        _print_sweep(sweep, ("total", "replacements"), chart=args.chart)
+    elif args.command == "fig5":
+        sweep = noise_sweep(args.etas, window=args.window, **common)
+        _print_sweep(sweep, ("total",), chart=args.chart)
+    elif args.command == "headline":
+        sweep = headline_comparison(beta=args.beta, window=args.window, **common)
+        print()
+        print(render_headline_table(sweep))
+    elif args.command == "demo":
+        common["horizon"] = min(args.horizon, 30)
+        sweep = headline_comparison(beta=50.0, window=min(args.window, 5), **common)
+        print()
+        print(render_headline_table(sweep))
+
+    elapsed = time.perf_counter() - started
+    print(f"\ndone in {elapsed:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Brute-force exact solver for tiny instances (test oracle).
+
+Enumerates every feasible integral caching trajectory and evaluates each
+with the exact fixed-cache load-balancing oracle. Exponential in
+``T * N * K`` — strictly a verification tool for the primal-dual algorithm
+and the online controllers on instances with a handful of items and slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+import numpy as np
+
+from repro.core.load_balancing import solve_y_given_x
+from repro.core.problem import JointProblem
+from repro.exceptions import ConfigurationError
+from repro.network.costs import CostBreakdown
+from repro.types import FloatArray
+
+#: Refuse to enumerate more caching trajectories than this.
+MAX_TRAJECTORIES = 2_000_000
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """The exact optimum of a tiny instance.
+
+    Attributes
+    ----------
+    x, y:
+        An optimal trajectory pair.
+    cost:
+        Its itemized cost (``cost.total`` is the exact optimal value).
+    trajectories:
+        Number of caching trajectories enumerated.
+    """
+
+    x: FloatArray
+    y: FloatArray
+    cost: CostBreakdown
+    trajectories: int
+
+
+def _per_sbs_states(num_items: int, cache_size: int) -> list[np.ndarray]:
+    """All 0/1 cache vectors with at most ``cache_size`` ones."""
+    states = []
+    for size in range(min(cache_size, num_items) + 1):
+        for chosen in combinations(range(num_items), size):
+            v = np.zeros(num_items)
+            v[list(chosen)] = 1.0
+            states.append(v)
+    return states
+
+
+def solve_exhaustive(problem: JointProblem) -> ExhaustiveResult:
+    """Enumerate all feasible caching trajectories and return the best.
+
+    Raises :class:`ConfigurationError` when the instance would require more
+    than :data:`MAX_TRAJECTORIES` evaluations.
+    """
+    net = problem.network
+    T = problem.horizon
+    per_slot_states: list[np.ndarray] = []
+    # Joint cache states across SBSs for one slot.
+    sbs_states = [
+        _per_sbs_states(net.num_items, int(net.cache_sizes[n]))
+        for n in range(net.num_sbs)
+    ]
+    for combo in product(*sbs_states):
+        per_slot_states.append(np.stack(combo))  # (N, K)
+
+    total = len(per_slot_states) ** T
+    if total > MAX_TRAJECTORIES:
+        raise ConfigurationError(
+            f"{total} caching trajectories exceed the exhaustive-search limit "
+            f"({MAX_TRAJECTORIES}); shrink the instance"
+        )
+
+    best: ExhaustiveResult | None = None
+    for seq in product(range(len(per_slot_states)), repeat=T):
+        x = np.stack([per_slot_states[i] for i in seq])  # (T, N, K)
+        balancing = solve_y_given_x(problem, x)
+        cost = problem.cost(x, balancing.y)
+        if best is None or cost.total < best.cost.total:
+            best = ExhaustiveResult(
+                x=x, y=balancing.y, cost=cost, trajectories=total
+            )
+    assert best is not None
+    return best

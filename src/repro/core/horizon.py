@@ -1,0 +1,68 @@
+"""Window and commitment bookkeeping for the online controllers (Section IV).
+
+- RHC solves a ``w``-slot window at every slot and commits only the first
+  action.
+- FHC variant ``v`` solves at the times ``Psi_v = {i : i = v (mod r)}``
+  (the paper's commitment classes) and commits ``r`` consecutive actions
+  per solve.
+- CHC averages the ``r`` variants; AFHC is CHC with ``r = w``.
+
+These helpers keep the index arithmetic (including the negative start
+times the paper's ``Psi_v`` includes, so every slot is covered by every
+variant) in one tested place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HorizonSpec:
+    """Prediction window ``w`` and commitment level ``r`` for a controller.
+
+    ``r = 1`` is RHC-like commitment; ``r = w`` is AFHC. The paper requires
+    ``1 <= r <= w``.
+    """
+
+    window: int
+    commitment: int
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window}")
+        if not 1 <= self.commitment <= self.window:
+            raise ConfigurationError(
+                f"commitment must be in [1, window={self.window}], got {self.commitment}"
+            )
+
+
+def fhc_solve_times(variant: int, commitment: int, horizon: int) -> list[int]:
+    """Solve times of FHC variant ``v`` over ``0..horizon-1``.
+
+    The variant solves at times ``tau = v (mod r)``, starting from the
+    largest such ``tau <= 0`` (possibly negative) so its commitments cover
+    slot 0, and continuing while the committed block intersects the horizon.
+    """
+    if not 0 <= variant < commitment:
+        raise ConfigurationError(
+            f"variant must be in [0, commitment={commitment}), got {variant}"
+        )
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    # First solve time <= 0 congruent to variant mod commitment.
+    first = variant - commitment if variant > 0 else 0
+    times = []
+    tau = first
+    while tau < horizon:
+        if tau + commitment > 0:  # committed block [tau, tau+r) touches >= 0
+            times.append(tau)
+        tau += commitment
+    return times
+
+
+def committed_slots(tau: int, commitment: int, horizon: int) -> range:
+    """The slots of ``0..horizon-1`` committed by a solve at time ``tau``."""
+    return range(max(tau, 0), min(tau + commitment, horizon))

@@ -1,0 +1,348 @@
+"""Subproblem ``P2`` — load balancing (Eq. 19) and the fixed-cache oracle.
+
+Two related problems are solved here, both per SBS and per slot:
+
+1. ``P2`` inside Algorithm 1: minimize ``f_t(Y) + g_t(Y) + mu . Y`` over
+   ``0 <= y <= 1`` and the bandwidth constraint (2) — the coupling ``y <= x``
+   has been dualized into ``mu``.
+2. The *fixed-cache oracle*: given an integral cache ``x``, compute the
+   exact optimal ``y`` (now with ``y <= x`` enforced directly and no
+   ``mu``). Every policy in the library is evaluated through this oracle so
+   realized costs are always the best achievable for the chosen caches.
+
+For the paper's evaluation setting — quadratic BS cost, ``omega-hat = 0``
+(Section V-B) — both reduce to a one-dimensional fixed point solved exactly
+by bisection over the BS residual ``r``: at a given ``r`` the KKT
+conditions rank items by the per-bandwidth-unit benefit
+``kappa_j = 2 r omega_j - mu_j / lambda_j`` and fill greedily up to the
+bandwidth, and the resulting residual is monotone in ``r``. The general
+case (``omega-hat > 0`` or non-quadratic costs) falls back to FISTA over
+the box-plus-halfspace feasible set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import JointProblem
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.costs import QuadraticOperatingCost
+from repro.optim.fista import minimize_fista
+from repro.optim.projection import project_halfspace_box_batch
+from repro.types import FloatArray
+
+_BISECTION_ITERS = 26
+
+
+@dataclass(frozen=True)
+class LoadBalancingSolution:
+    """Solution of ``P2`` (or the fixed-cache oracle) over a window.
+
+    Attributes
+    ----------
+    y:
+        Load-balancing trajectory, shape ``(T, M, K)``.
+    objective:
+        The solved objective: ``sum_t (f + g) + sum mu . y`` for ``P2``;
+        ``sum_t (f + g)`` for the fixed-cache oracle.
+    """
+
+    y: FloatArray
+    objective: float
+
+
+def _uses_fast_path(problem: JointProblem) -> bool:
+    return isinstance(problem.bs_cost, QuadraticOperatingCost) and bool(
+        np.all(problem.network.omega_sbs == 0.0)
+    )
+
+
+# --------------------------------------------------------------------- P2
+
+def solve_p2(
+    problem: JointProblem,
+    mu: FloatArray,
+    *,
+    y0: FloatArray | None = None,
+    tol: float = 1e-7,
+    max_iter: int = 500,
+) -> LoadBalancingSolution:
+    """Solve ``P2`` given multipliers ``mu`` of shape ``(T, M, K)``."""
+    if mu.shape != problem.y_shape:
+        raise DimensionMismatchError(f"mu shape {mu.shape} != {problem.y_shape}")
+    if _uses_fast_path(problem):
+        return _solve_p2_fast(problem, mu)
+    return _solve_p2_fista(problem, mu, y0=y0, tol=tol, max_iter=max_iter)
+
+
+def solve_y_given_x(
+    problem: JointProblem,
+    x: FloatArray,
+    *,
+    y0: FloatArray | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+) -> LoadBalancingSolution:
+    """Exact optimal ``y`` for a fixed integral caching trajectory ``x``.
+
+    Enforces ``y <= x`` directly; with the paper's costs this is the greedy
+    bandwidth fill by descending ``omega`` (a fractional knapsack), solved
+    in closed form for all slots at once.
+    """
+    if x.shape != problem.x_shape:
+        raise DimensionMismatchError(f"x shape {x.shape} != {problem.x_shape}")
+    zero_mu = np.zeros(problem.y_shape)
+    if _uses_fast_path(problem):
+        return _solve_p2_fast(problem, zero_mu, x_caps=x)
+    return _solve_p2_fista(
+        problem, zero_mu, x_caps=x, y0=y0, tol=tol, max_iter=max_iter
+    )
+
+
+def p2_objective(problem: JointProblem, y: FloatArray, mu: FloatArray) -> float:
+    """Evaluate the ``P2`` objective ``sum_t (f + g) + mu . y`` (for tests)."""
+    from repro.network.costs import bs_operating_cost, sbs_operating_cost
+
+    total = float(np.sum(mu * y))
+    for t in range(problem.horizon):
+        total += bs_operating_cost(
+            problem.network, problem.demand[t], y[t], problem.bs_cost
+        )
+        total += sbs_operating_cost(
+            problem.network, problem.demand[t], y[t], problem.sbs_cost
+        )
+    return total
+
+
+# ------------------------------------------------------------- fast solver
+
+def _solve_p2_fast(
+    problem: JointProblem,
+    mu: FloatArray,
+    *,
+    x_caps: FloatArray | None = None,
+) -> LoadBalancingSolution:
+    """Exact solver for quadratic BS cost with ``omega-hat = 0``.
+
+    Per SBS and slot, bisects on the BS residual ``r``; see module
+    docstring. Vectorized across all slots of the window.
+    """
+    net = problem.network
+    scale = problem.bs_cost.scale  # type: ignore[union-attr]
+    T = problem.horizon
+    y = np.zeros(problem.y_shape)
+    objective = 0.0
+    for n in range(net.num_sbs):
+        classes = net.classes_of_sbs[n]
+        lam = problem.demand[:, classes, :].reshape(T, -1)  # (T, J)
+        omega = np.repeat(net.omega_bs[classes], net.num_items)  # (J,)
+        mu_n = mu[:, classes, :].reshape(T, -1)
+        caps = lam.copy()
+        if x_caps is not None:
+            per_class_caps = np.broadcast_to(
+                x_caps[:, n, None, :], (T, len(classes), net.num_items)
+            ).reshape(T, -1)
+            caps = caps * per_class_caps
+        W = lam @ omega  # (T,)
+        B = float(net.bandwidths[n])
+
+        alloc, u = _waterfill(lam, caps, omega, mu_n, W, B, scale)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            y_n = np.where(lam > 0, alloc / lam, 0.0)
+        y[:, classes, :] = y_n.reshape(T, len(classes), net.num_items)
+        residual = W - u
+        objective += float(scale * np.sum(residual**2)) + float(np.sum(mu_n * y_n))
+    return LoadBalancingSolution(y=y, objective=objective)
+
+
+def _waterfill(
+    lam: FloatArray,
+    caps: FloatArray,
+    omega: FloatArray,
+    mu: FloatArray,
+    W: FloatArray,
+    bandwidth: float,
+    scale: float,
+) -> tuple[FloatArray, FloatArray]:
+    """Bisection on the residual ``r`` with a greedy bandwidth fill inside.
+
+    Arrays are ``(T, J)`` with ``J`` the flattened (class, item) coordinates
+    of one SBS. Returns the routed amounts ``alloc`` (in bandwidth units,
+    ``alloc <= caps``) and the offloaded weighted volume ``u`` per slot.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(lam > 0, mu / lam, np.inf)
+    omega_full = np.broadcast_to(omega, caps.shape)
+
+    def fill(
+        r: FloatArray, *, with_alloc: bool
+    ) -> tuple[FloatArray | None, FloatArray]:
+        # Benefit per bandwidth unit at residual r; items with non-positive
+        # benefit are never routed.
+        kappa = 2.0 * scale * r[:, None] * omega[None, :] - slope
+        eligible = (kappa > 0) & (caps > 0)
+        order = np.argsort(np.where(eligible, -kappa, np.inf), axis=1, kind="stable")
+        caps_sorted = np.take_along_axis(np.where(eligible, caps, 0.0), order, axis=1)
+        cum = np.cumsum(caps_sorted, axis=1)
+        alloc_sorted = np.clip(bandwidth - (cum - caps_sorted), 0.0, caps_sorted)
+        omega_sorted = np.take_along_axis(omega_full, order, axis=1)
+        u = np.einsum("tj,tj->t", alloc_sorted, omega_sorted)
+        if not with_alloc:
+            return None, u
+        alloc = np.zeros_like(caps)
+        np.put_along_axis(alloc, order, alloc_sorted, axis=1)
+        return alloc, u
+
+    if not np.any(slope > 0):
+        # mu == 0 on all demanded items: the fill order (by omega) does not
+        # depend on r, so a single pass at any positive r is exact.
+        alloc, u = fill(np.maximum(W, 1.0), with_alloc=True)
+        assert alloc is not None
+        return alloc, u
+
+    r_lo = np.zeros_like(W)
+    r_hi = np.maximum(W.astype(np.float64), 1e-12)
+    for _ in range(_BISECTION_ITERS):
+        mid = 0.5 * (r_lo + r_hi)
+        _, u = fill(mid, with_alloc=False)
+        implied = W - u
+        too_small = implied > mid  # G(r) > 0 -> root is to the right
+        r_lo = np.where(too_small, mid, r_lo)
+        r_hi = np.where(too_small, r_hi, mid)
+
+    # u(r) is a non-decreasing step function (the greedy order shifts toward
+    # high-omega items as r grows), so the fixed point W - u(r) = r can sit
+    # at a jump: G(r_lo) > 0 >= G(r_hi) with u jumping across the target.
+    # The KKT-optimal point there mixes the two adjacent greedy fills (the
+    # tied items split the bandwidth); both fills are feasible, u is linear
+    # in y, so the exact mix is a convex interpolation.
+    alloc_lo, u_lo = fill(r_lo, with_alloc=True)
+    alloc_hi, u_hi = fill(r_hi, with_alloc=True)
+    assert alloc_lo is not None and alloc_hi is not None
+    u_target = W - 0.5 * (r_lo + r_hi)
+    gap = u_hi - u_lo
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(gap > 1e-15, np.clip((u_target - u_lo) / gap, 0.0, 1.0), 0.0)
+    alloc = alloc_lo + t[:, None] * (alloc_hi - alloc_lo)
+    u = u_lo + t * gap
+    return alloc, u
+
+
+# ------------------------------------------------------------ FISTA solver
+
+def _solve_p2_fista(
+    problem: JointProblem,
+    mu: FloatArray,
+    *,
+    x_caps: FloatArray | None = None,
+    y0: FloatArray | None = None,
+    tol: float = 1e-7,
+    max_iter: int = 500,
+) -> LoadBalancingSolution:
+    """General-case ``P2`` via accelerated projected gradient."""
+    net = problem.network
+    T = problem.horizon
+    lam = problem.demand
+    omega = net.omega_bs
+    omega_hat = net.omega_sbs
+    sbs_of = net.class_sbs
+
+    # Per-slot, per-SBS totals; computed via scatter-add over classes.
+    def per_sbs(values_per_class: FloatArray) -> FloatArray:
+        out = np.zeros((T, net.num_sbs))
+        np.add.at(out, (slice(None), sbs_of), values_per_class)
+        return out
+
+    W_ns = per_sbs(omega[None, :] * lam.sum(axis=2))  # (T, N)
+
+    caps = np.ones(problem.y_shape)
+    if x_caps is not None:
+        caps = x_caps[:, sbs_of, :].astype(np.float64)
+
+    def objective(y_flat: FloatArray) -> float:
+        y = y_flat.reshape(problem.y_shape)
+        offload = (lam * y).sum(axis=2)  # (T, M)
+        u = per_sbs(omega[None, :] * offload)
+        v = per_sbs(omega_hat[None, :] * offload)
+        return (
+            problem.bs_cost.evaluate(W_ns - u)
+            + problem.sbs_cost.evaluate(v)
+            + float(np.sum(mu * y))
+        )
+
+    def gradient(y_flat: FloatArray) -> FloatArray:
+        y = y_flat.reshape(problem.y_shape)
+        offload = (lam * y).sum(axis=2)
+        u = per_sbs(omega[None, :] * offload)
+        v = per_sbs(omega_hat[None, :] * offload)
+        df = problem.bs_cost.derivative(W_ns - u)  # (T, N)
+        dg = problem.sbs_cost.derivative(v)
+        coeff = -df[:, sbs_of] * omega[None, :] + dg[:, sbs_of] * omega_hat[None, :]
+        return (coeff[:, :, None] * lam + mu).reshape(-1)
+
+    def project(y_flat: FloatArray) -> FloatArray:
+        # Each class belongs to exactly one SBS, so the per-SBS blocks
+        # partition the coordinates and each is projected exactly once.
+        # The raw (unclipped) iterate must be handed to the block
+        # projection: clipping first would change the Euclidean projection.
+        y = y_flat.reshape(problem.y_shape).copy()
+        for n in range(net.num_sbs):
+            classes = net.classes_of_sbs[n]
+            block = y[:, classes, :].reshape(T, -1)
+            a = lam[:, classes, :].reshape(T, -1)
+            budgets = np.full(T, net.bandwidths[n])
+            projected = _project_blocks_capped(
+                block, a, budgets, caps[:, classes, :].reshape(T, -1)
+            )
+            y[:, classes, :] = projected.reshape(T, len(classes), net.num_items)
+        return y.reshape(-1)
+
+    start = np.zeros(problem.y_shape) if y0 is None else np.clip(y0, 0.0, caps)
+    result = minimize_fista(
+        objective,
+        gradient,
+        project,
+        start.reshape(-1),
+        tol=tol,
+        max_iter=max_iter,
+    )
+    y = result.x.reshape(problem.y_shape)
+    return LoadBalancingSolution(y=y, objective=result.objective)
+
+
+def _project_blocks_capped(
+    v: FloatArray, a: FloatArray, budgets: FloatArray, caps: FloatArray
+) -> FloatArray:
+    """Batched projection onto ``{0 <= y <= caps, a . y <= budget}`` per row.
+
+    Extends :func:`repro.optim.projection.project_halfspace_box_batch` to
+    per-coordinate upper bounds (needed when ``y <= x`` is enforced
+    directly rather than dualized).
+    """
+    base = np.clip(v, 0.0, caps)
+    usage = np.einsum("bd,bd->b", a, base)
+    violated = usage > budgets + 1e-12
+    if not np.any(violated):
+        return base
+    vv, aa, bb, cc = v[violated], a[violated], budgets[violated], caps[violated]
+
+    theta_lo = np.zeros(vv.shape[0])
+    theta_hi = np.ones(vv.shape[0])
+    for _ in range(64):
+        y = np.clip(vv - theta_hi[:, None] * aa, 0.0, cc)
+        over = np.einsum("bd,bd->b", aa, y) > bb
+        if not np.any(over):
+            break
+        theta_lo = np.where(over, theta_hi, theta_lo)
+        theta_hi = np.where(over, theta_hi * 2.0, theta_hi)
+    for _ in range(_BISECTION_ITERS):
+        mid = 0.5 * (theta_lo + theta_hi)
+        y = np.clip(vv - mid[:, None] * aa, 0.0, cc)
+        over = np.einsum("bd,bd->b", aa, y) > bb
+        theta_lo = np.where(over, mid, theta_lo)
+        theta_hi = np.where(over, theta_hi, mid)
+    out = base
+    out[violated] = np.clip(vv - theta_hi[:, None] * aa, 0.0, cc)
+    return out

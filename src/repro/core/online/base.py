@@ -1,0 +1,99 @@
+"""Shared machinery for the online controllers.
+
+Every controller repeatedly solves a ``w``-slot window of the joint problem
+(Eq. 26, via Algorithm 1 — Theorem 2 shows the integer window problem keeps
+the continuous competitive ratio). :class:`OnlineSolveSettings` bundles the
+inner-solver knobs, and :func:`solve_window` applies them with warm-started
+multipliers, which is what keeps a 100-slot receding-horizon run fast: the
+window shifts by one slot, so the previous window's multipliers (shifted by
+one slot) are an excellent starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.caching_lp import CachingBackend
+from repro.core.primal_dual import PrimalDualResult, solve_primal_dual
+from repro.scenario import Scenario
+from repro.types import FloatArray
+
+
+@dataclass(frozen=True)
+class OnlineSolveSettings:
+    """Inner-solver configuration for per-window Algorithm 1 runs.
+
+    Parameters
+    ----------
+    max_iter:
+        Subgradient iteration cap per window (smaller than the offline
+        default — windows are small and warm-started).
+    gap_tol:
+        Relative duality-gap target per window.
+    caching_backend:
+        ``P1`` backend for window solves.
+    ub_patience:
+        Stop a window solve early once the best feasible candidate has not
+        improved for this many iterations — the committed trajectory is
+        the feasible candidate, so chasing the dual certificate further
+        buys nothing online.
+    """
+
+    max_iter: int = 40
+    gap_tol: float = 1e-3
+    caching_backend: CachingBackend = "auto"
+    ub_patience: int | None = 8
+
+
+def solve_window(
+    scenario: Scenario,
+    decided_at: int,
+    window_start: int,
+    window: int,
+    x_prev: FloatArray,
+    settings: OnlineSolveSettings,
+    mu_warm: FloatArray | None,
+) -> PrimalDualResult:
+    """Solve one prediction window with Algorithm 1.
+
+    ``decided_at`` is the slot at which the forecast is issued (it differs
+    from ``window_start`` only for the negatively-anchored first solves of
+    FHC variants). Slots before 0 or past the trace see zero demand, per
+    the paper's convention.
+    """
+    predicted = scenario.predictor.predict_window(
+        max(decided_at, 0), window_start, window
+    )
+    problem = scenario.window_problem(predicted, x_prev)
+    mu0 = None
+    if mu_warm is not None and mu_warm.shape == (window, *predicted.shape[1:]):
+        mu0 = mu_warm
+    return solve_primal_dual(
+        problem,
+        max_iter=settings.max_iter,
+        gap_tol=settings.gap_tol,
+        caching_backend=settings.caching_backend,
+        mu0=mu0,
+        ub_patience=settings.ub_patience,
+    )
+
+
+def shift_mu(mu: FloatArray, shift: int) -> FloatArray:
+    """Shift multipliers ``shift`` slots earlier, padding the tail.
+
+    Used to warm-start the next window: slot ``t`` of the new window
+    corresponds to slot ``t + shift`` of the previous one; the final
+    ``shift`` slots reuse the last available multiplier as a prior.
+    """
+    if shift <= 0:
+        return mu.copy()
+    T = mu.shape[0]
+    out = np.empty_like(mu)
+    if shift >= T:
+        out[:] = mu[-1]
+        return out
+    out[: T - shift] = mu[shift:]
+    out[T - shift :] = mu[-1]
+    return out

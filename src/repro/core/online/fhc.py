@@ -1,0 +1,78 @@
+"""Fixed Horizon Control — the building block of CHC and AFHC.
+
+FHC variant ``v`` (one of ``r`` phase-shifted copies) re-plans at the times
+``Psi_v = {tau : tau = v (mod r)}`` (Section IV-B): at each solve time it
+optimizes the ``w``-slot window on predicted demand from *its own* cache
+state and commits the first ``r`` actions. Variants are independent
+trajectories; CHC averages them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.horizon import committed_slots, fhc_solve_times
+from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
+from repro.exceptions import ConfigurationError
+from repro.scenario import Scenario
+from repro.types import FloatArray
+
+
+@dataclass(frozen=True)
+class FixedHorizonTrajectory:
+    """One FHC variant's full trajectory over the horizon.
+
+    Attributes
+    ----------
+    x, y:
+        The variant's committed actions, shapes ``(T, N, K)`` / ``(T, M, K)``.
+    solves:
+        Number of window optimizations performed.
+    """
+
+    x: FloatArray
+    y: FloatArray
+    solves: int
+
+
+def run_fhc_variant(
+    scenario: Scenario,
+    *,
+    variant: int,
+    window: int,
+    commitment: int,
+    settings: OnlineSolveSettings,
+) -> FixedHorizonTrajectory:
+    """Run FHC variant ``v`` with window ``w`` and commitment level ``r``."""
+    if not 1 <= commitment <= window:
+        raise ConfigurationError(
+            f"commitment must be in [1, window={window}], got {commitment}"
+        )
+    T = scenario.horizon
+    net = scenario.network
+    x = np.zeros((T, net.num_sbs, net.num_items))
+    y = np.zeros((T, net.num_classes, net.num_items))
+    x_prev = scenario.x_initial
+    mu_warm = None
+    solves = 0
+    for tau in fhc_solve_times(variant, commitment, T):
+        result = solve_window(
+            scenario,
+            decided_at=tau,
+            window_start=tau,
+            window=window,
+            x_prev=x_prev,
+            settings=settings,
+            mu_warm=mu_warm,
+        )
+        solves += 1
+        slots = committed_slots(tau, commitment, T)
+        for t in slots:
+            x[t] = result.x[t - tau]
+            y[t] = result.y[t - tau]
+        if len(slots):
+            x_prev = x[slots[-1]]
+        mu_warm = shift_mu(result.mu, commitment)
+    return FixedHorizonTrajectory(x=x, y=y, solves=solves)

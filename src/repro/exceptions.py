@@ -1,0 +1,41 @@
+"""Typed exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from numerical ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, network, or algorithm was configured inconsistently.
+
+    Examples: a negative cache size, a demand matrix whose shape does not
+    match the network, or a CHC commitment level larger than the prediction
+    window.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """The optimization problem has no feasible point.
+
+    Raised, e.g., when an LP's constraint set is empty or when a projection
+    target set is empty (such as a capped simplex with an unreachable sum).
+    """
+
+
+class UnboundedProblemError(ReproError):
+    """The optimization problem is unbounded below."""
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or returned an invalid result."""
+
+
+class DimensionMismatchError(ConfigurationError):
+    """Array arguments have inconsistent shapes."""

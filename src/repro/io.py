@@ -1,0 +1,176 @@
+"""Persistence for scenarios and run results.
+
+Reproducibility plumbing: a :class:`~repro.scenario.Scenario` or a
+:class:`~repro.sim.engine.RunResult` can be written to disk and reloaded
+bit-for-bit, so experiment artefacts can be archived next to the numbers
+they produced. Formats:
+
+- scenarios -> a single ``.npz`` (arrays) with an embedded JSON header
+  (network parameters, predictor settings);
+- run results -> ``.npz`` with the trajectories and itemized costs.
+
+Only library-owned types are (de)serialized — no pickling of arbitrary
+objects, so files are safe to share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.costs import CostBreakdown
+from repro.network.topology import Network
+from repro.network import ContentCatalog, MUClass, SmallBaseStation
+from repro.scenario import Scenario
+from repro.sim.engine import RunResult
+from repro.workload.demand import DemandMatrix
+from repro.workload.predictor import PerfectPredictor, PerturbedPredictor
+
+_FORMAT_VERSION = 1
+
+
+def _network_header(network: Network) -> dict:
+    return {
+        "num_items": network.num_items,
+        "sbss": [
+            {
+                "cache_size": int(s.cache_size),
+                "bandwidth": float(s.bandwidth),
+                "replacement_cost": float(s.replacement_cost),
+            }
+            for s in network.sbss
+        ],
+        "classes": [
+            {
+                "sbs_id": int(c.sbs_id),
+                "omega_bs": float(c.omega_bs),
+                "omega_sbs": float(c.omega_sbs),
+            }
+            for c in network.mu_classes
+        ],
+    }
+
+
+def _network_from_header(header: dict) -> Network:
+    catalog = ContentCatalog(int(header["num_items"]))
+    sbss = tuple(
+        SmallBaseStation(i, s["cache_size"], s["bandwidth"], s["replacement_cost"])
+        for i, s in enumerate(header["sbss"])
+    )
+    classes = tuple(
+        MUClass(i, c["sbs_id"], c["omega_bs"], c["omega_sbs"])
+        for i, c in enumerate(header["classes"])
+    )
+    return Network(catalog, sbss, classes)
+
+
+def save_scenario(scenario: Scenario, path: str | Path) -> None:
+    """Write a scenario to ``path`` (``.npz``).
+
+    The predictor is persisted when it is one of the library's predictor
+    types (perfect or perturbed); custom predictors raise.
+    """
+    predictor = scenario.predictor
+    if isinstance(predictor, PerfectPredictor):
+        pred_header: dict = {"kind": "perfect"}
+    elif isinstance(predictor, PerturbedPredictor):
+        pred_header = {
+            "kind": "perturbed",
+            "eta": predictor.eta,
+            "seed": predictor.seed,
+            "mode": predictor.mode,
+        }
+    else:
+        raise ConfigurationError(
+            f"cannot persist predictor of type {type(predictor).__name__}"
+        )
+    header = {
+        "version": _FORMAT_VERSION,
+        "network": _network_header(scenario.network),
+        "predictor": pred_header,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        demand=scenario.demand.rates,
+        x_initial=scenario.x_initial,
+    )
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load a scenario written by :func:`save_scenario`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format version {header.get('version')}"
+            )
+        network = _network_from_header(header["network"])
+        demand = DemandMatrix(data["demand"])
+        pred_header = header["predictor"]
+        if pred_header["kind"] == "perfect":
+            predictor = PerfectPredictor(demand)
+        else:
+            predictor = PerturbedPredictor(
+                demand,
+                eta=float(pred_header["eta"]),
+                seed=int(pred_header["seed"]),
+                mode=pred_header["mode"],
+            )
+        return Scenario(
+            network=network,
+            demand=demand,
+            predictor=predictor,
+            x_initial=data["x_initial"],
+        )
+
+
+def save_run_result(result: RunResult, path: str | Path) -> None:
+    """Write a run result (trajectories + itemized cost) to ``path``."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "policy": result.policy,
+        "solves": result.solves,
+        "cost": {
+            "bs_cost": result.cost.bs_cost,
+            "sbs_cost": result.cost.sbs_cost,
+            "replacement": result.cost.replacement,
+            "replacements": result.cost.replacements,
+        },
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        x=result.x,
+        y=result.y,
+        per_slot_total=result.per_slot_total,
+        per_slot_replacements=result.per_slot_replacements,
+    )
+
+
+def load_run_result(path: str | Path) -> RunResult:
+    """Load a run result written by :func:`save_run_result`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported result format version {header.get('version')}"
+            )
+        cost = CostBreakdown(
+            bs_cost=float(header["cost"]["bs_cost"]),
+            sbs_cost=float(header["cost"]["sbs_cost"]),
+            replacement=float(header["cost"]["replacement"]),
+            replacements=int(header["cost"]["replacements"]),
+        )
+        return RunResult(
+            policy=header["policy"],
+            cost=cost,
+            per_slot_total=data["per_slot_total"],
+            per_slot_replacements=data["per_slot_replacements"],
+            x=data["x"],
+            y=data["y"],
+            solves=int(header["solves"]),
+        )

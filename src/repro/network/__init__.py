@@ -1,0 +1,39 @@
+"""5G network model: base station, small base stations, MU classes, costs.
+
+This package models the system of Section II of the paper: one macro base
+station (BS), ``N`` small base stations (SBSs) with finite cache and
+bandwidth, and classes of mobile users (MUs) attached to exactly one SBS.
+"""
+
+from repro.network.content import ContentCatalog
+from repro.network.costs import (
+    OperatingCost,
+    QuadraticOperatingCost,
+    LinearOperatingCost,
+    bs_operating_cost,
+    sbs_operating_cost,
+    replacement_cost,
+    replacement_count,
+    total_cost,
+    CostBreakdown,
+)
+from repro.network.stations import BaseStation, SmallBaseStation
+from repro.network.topology import Network
+from repro.network.users import MUClass
+
+__all__ = [
+    "BaseStation",
+    "ContentCatalog",
+    "CostBreakdown",
+    "LinearOperatingCost",
+    "MUClass",
+    "Network",
+    "OperatingCost",
+    "QuadraticOperatingCost",
+    "SmallBaseStation",
+    "bs_operating_cost",
+    "replacement_cost",
+    "replacement_count",
+    "sbs_operating_cost",
+    "total_cost",
+]

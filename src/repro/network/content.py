@@ -1,0 +1,62 @@
+"""Content catalog offered by the base station.
+
+The paper assumes the BS offers ``K`` content items of identical size ``o``
+(Section II-A), normalized to ``o = 1``. The catalog is therefore fully
+described by its cardinality; we keep the item size explicit so that the
+normalization assumption is visible at the API surface and so alternative
+scenarios can scale it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ContentCatalog:
+    """The set of content items ``K = {0, 1, ..., num_items - 1}``.
+
+    Parameters
+    ----------
+    num_items:
+        Catalog size ``K``. Must be a positive integer.
+    item_size:
+        Uniform item size ``o``; the paper normalizes ``o = 1``.
+    names:
+        Optional human-readable names, one per item, used only for reports.
+    """
+
+    num_items: int
+    item_size: float = 1.0
+    names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_items <= 0:
+            raise ConfigurationError(f"catalog must be non-empty, got {self.num_items}")
+        if self.item_size <= 0:
+            raise ConfigurationError(f"item size must be positive, got {self.item_size}")
+        if self.names and len(self.names) != self.num_items:
+            raise ConfigurationError(
+                f"got {len(self.names)} names for {self.num_items} items"
+            )
+
+    def __len__(self) -> int:
+        return self.num_items
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self.num_items
+
+    def name_of(self, item: int) -> str:
+        """Return the display name of ``item`` (``content-<k>`` by default)."""
+        if item not in self:
+            raise ConfigurationError(f"item {item} outside catalog of size {self.num_items}")
+        if self.names:
+            return self.names[item]
+        return f"content-{item}"
+
+    @property
+    def items(self) -> range:
+        """The item index range ``0..K-1``."""
+        return range(self.num_items)

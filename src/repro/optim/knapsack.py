@@ -1,0 +1,54 @@
+"""Fractional knapsack: the exact load-balancing solver for fixed caches.
+
+With the paper's quadratic BS cost and ``omega-hat = 0`` (the evaluation
+setting of Section V-B), the per-slot load-balancing problem *given a fixed
+cache* reduces to maximizing the offloaded weighted volume subject to the
+SBS bandwidth — a fractional knapsack solved exactly by a greedy fill in
+``O(items log items)``. The general ``omega-hat > 0`` case is strictly
+convex and handled by FISTA in :mod:`repro.core.load_balancing`; this
+module provides the fast exact path and the greedy primitive it rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+def fractional_knapsack_offload(
+    unit_values: FloatArray,
+    capacities: FloatArray,
+    budget: float,
+) -> FloatArray:
+    """Maximize ``sum(unit_values * z)`` s.t. ``0 <= z <= capacities``, ``sum(z) <= budget``.
+
+    ``unit_values[i]`` is the value gained per unit of item ``i`` routed;
+    ``capacities[i]`` the maximum routable amount. Items are filled in
+    decreasing unit value; items with non-positive unit value are skipped
+    (routing them cannot help). Returns the optimal amounts ``z``.
+    """
+    unit_values = np.asarray(unit_values, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    if unit_values.shape != capacities.shape:
+        raise ConfigurationError(
+            f"values shape {unit_values.shape} != capacities shape {capacities.shape}"
+        )
+    if np.any(capacities < 0):
+        raise ConfigurationError("capacities must be non-negative")
+    if budget < 0:
+        raise ConfigurationError(f"budget must be >= 0, got {budget}")
+
+    z = np.zeros_like(capacities)
+    remaining = float(budget)
+    order = np.argsort(-unit_values, kind="stable")
+    for i in order:
+        if remaining <= 0:
+            break
+        if unit_values[i] <= 0:
+            break
+        take = min(capacities[i], remaining)
+        z[i] = take
+        remaining -= take
+    return z

@@ -1,0 +1,190 @@
+"""Euclidean projections onto the feasible sets of the paper's subproblems.
+
+The load-balancing subproblem ``P2`` is solved per SBS and slot over the
+set ``{y : lo <= y <= hi, a . y <= budget}`` (box plus one weighted
+halfspace — constraint (2) of the paper with the box (11)/(3)). Its
+Euclidean projection reduces, by Lagrangian duality, to a one-dimensional
+root-finding problem over the halfspace multiplier, solved here by
+bisection to machine-level accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.types import FloatArray
+
+
+def project_box(v: FloatArray, lo: FloatArray | float, hi: FloatArray | float) -> FloatArray:
+    """Project ``v`` onto the box ``[lo, hi]`` elementwise.
+
+    Raises when the box is empty (some ``lo > hi``).
+    """
+    lo_arr = np.broadcast_to(np.asarray(lo, dtype=np.float64), v.shape)
+    hi_arr = np.broadcast_to(np.asarray(hi, dtype=np.float64), v.shape)
+    if np.any(lo_arr > hi_arr + 1e-12):
+        raise InfeasibleProblemError("empty box: some lower bound exceeds upper bound")
+    return np.clip(v, lo_arr, hi_arr)
+
+
+def project_halfspace_box(
+    v: FloatArray,
+    a: FloatArray,
+    budget: float,
+    lo: FloatArray | float = 0.0,
+    hi: FloatArray | float = 1.0,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> FloatArray:
+    """Project ``v`` onto ``{y : lo <= y <= hi, a . y <= budget}`` with ``a >= 0``.
+
+    The projection is ``clip(v - theta * a, lo, hi)`` for the smallest
+    ``theta >= 0`` making the budget constraint hold; ``theta`` is found by
+    bisection on the monotone non-increasing map
+    ``theta -> a . clip(v - theta * a, lo, hi)``.
+
+    Raises :class:`InfeasibleProblemError` when even the box's cheapest
+    point violates the budget (i.e. ``a . lo > budget``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.shape != v.shape:
+        raise ConfigurationError(f"a has shape {a.shape}, expected {v.shape}")
+    if np.any(a < 0):
+        raise ConfigurationError("halfspace weights must be non-negative")
+    lo_arr = np.broadcast_to(np.asarray(lo, dtype=np.float64), v.shape)
+    hi_arr = np.broadcast_to(np.asarray(hi, dtype=np.float64), v.shape)
+
+    base = project_box(v, lo_arr, hi_arr)
+    if float(a @ base) <= budget + tol:
+        return base
+
+    floor_usage = float(a @ lo_arr)
+    if floor_usage > budget + 1e-9:
+        raise InfeasibleProblemError(
+            f"halfspace budget {budget} unreachable: box floor already uses {floor_usage}"
+        )
+
+    def usage(theta: float) -> float:
+        return float(a @ np.clip(v - theta * a, lo_arr, hi_arr))
+
+    theta_lo, theta_hi = 0.0, 1.0
+    while usage(theta_hi) > budget and theta_hi < 1e18:
+        theta_lo = theta_hi
+        theta_hi *= 2.0
+    for _ in range(max_iter):
+        mid = 0.5 * (theta_lo + theta_hi)
+        if usage(mid) > budget:
+            theta_lo = mid
+        else:
+            theta_hi = mid
+        if theta_hi - theta_lo <= tol * max(1.0, theta_hi):
+            break
+    return np.clip(v - theta_hi * a, lo_arr, hi_arr)
+
+
+def project_halfspace_box_batch(
+    v: FloatArray,
+    a: FloatArray,
+    budgets: FloatArray,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    *,
+    iterations: int = 60,
+) -> FloatArray:
+    """Batched :func:`project_halfspace_box` over leading blocks.
+
+    ``v`` and ``a`` have shape ``(B, d)`` (``a`` may also be ``(d,)`` and is
+    broadcast); ``budgets`` has shape ``(B,)``. Block ``i`` is projected
+    onto ``{y : lo <= y <= hi, a[i] . y <= budgets[i]}``. All blocks share
+    one vectorized bisection loop, which is what makes the per-slot
+    bandwidth projection affordable inside FISTA.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim != 2:
+        raise ConfigurationError(f"expected (blocks, dim) array, got shape {v.shape}")
+    a = np.broadcast_to(np.asarray(a, dtype=np.float64), v.shape)
+    budgets = np.asarray(budgets, dtype=np.float64)
+    if budgets.shape != (v.shape[0],):
+        raise ConfigurationError(
+            f"budgets shape {budgets.shape} does not match {v.shape[0]} blocks"
+        )
+    if np.any(a < 0):
+        raise ConfigurationError("halfspace weights must be non-negative")
+    if lo > hi:
+        raise InfeasibleProblemError("empty box: lo > hi")
+
+    base = np.clip(v, lo, hi)
+    usage = np.einsum("bd,bd->b", a, base)
+    violated = usage > budgets + 1e-12
+    if not np.any(violated):
+        return base
+    floor_usage = lo * a.sum(axis=1)
+    if np.any(floor_usage[violated] > budgets[violated] + 1e-9):
+        raise InfeasibleProblemError("some block's budget is unreachable")
+
+    vv = v[violated]
+    aa = a[violated]
+    bb = budgets[violated]
+
+    def block_usage(theta: FloatArray) -> FloatArray:
+        y = np.clip(vv - theta[:, None] * aa, lo, hi)
+        return np.einsum("bd,bd->b", aa, y)
+
+    theta_lo = np.zeros(vv.shape[0])
+    theta_hi = np.ones(vv.shape[0])
+    for _ in range(64):
+        over = block_usage(theta_hi) > bb
+        if not np.any(over):
+            break
+        theta_lo = np.where(over, theta_hi, theta_lo)
+        theta_hi = np.where(over, theta_hi * 2.0, theta_hi)
+    for _ in range(iterations):
+        mid = 0.5 * (theta_lo + theta_hi)
+        over = block_usage(mid) > bb
+        theta_lo = np.where(over, mid, theta_lo)
+        theta_hi = np.where(over, theta_hi, mid)
+    out = base
+    out[violated] = np.clip(vv - theta_hi[:, None] * aa, lo, hi)
+    return out
+
+
+def project_capped_simplex(
+    v: FloatArray,
+    total: float,
+    cap: FloatArray | float = 1.0,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> FloatArray:
+    """Project ``v`` onto ``{x : 0 <= x <= cap, sum(x) = total}``.
+
+    Used for relaxed caching iterates (capacity constraint (1) with the
+    unit box). Solved by bisection on the shift ``tau`` in
+    ``clip(v - tau, 0, cap)``, whose sum is monotone in ``tau``.
+    """
+    cap_arr = np.broadcast_to(np.asarray(cap, dtype=np.float64), v.shape)
+    if np.any(cap_arr < 0):
+        raise ConfigurationError("caps must be non-negative")
+    reachable = float(cap_arr.sum())
+    if total < -tol or total > reachable + 1e-9:
+        raise InfeasibleProblemError(
+            f"target sum {total} outside reachable range [0, {reachable}]"
+        )
+    total = min(max(total, 0.0), reachable)
+
+    def mass(tau: float) -> float:
+        return float(np.clip(v - tau, 0.0, cap_arr).sum())
+
+    tau_lo = float(v.min() - cap_arr.max() - 1.0)
+    tau_hi = float(v.max() + 1.0)
+    for _ in range(max_iter):
+        mid = 0.5 * (tau_lo + tau_hi)
+        if mass(mid) > total:
+            tau_lo = mid
+        else:
+            tau_hi = mid
+        if tau_hi - tau_lo <= tol * max(1.0, abs(tau_hi)):
+            break
+    return np.clip(v - 0.5 * (tau_lo + tau_hi), 0.0, cap_arr)

@@ -1,0 +1,71 @@
+"""Step-size rules for the dual subgradient ascent of Algorithm 1.
+
+The paper updates the multipliers by ``mu <- [mu + delta_l * g_l]^+`` with
+the diminishing step ``delta_l = 1 / (1 + alpha * l)`` (Eqs. 15-16) and
+notes that other subgradient rules work equally well; this module provides
+the paper's rule plus two standard alternatives, all behind a common
+callable signature ``rule(iteration) -> step``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+#: A step-size schedule: iteration index (1-based) to step length.
+StepRule = Callable[[int], float]
+
+
+def paper_step_rule(alpha: float = 0.05) -> StepRule:
+    """The paper's Eq. 16: ``delta_l = 1 / (1 + alpha * l)``.
+
+    ``alpha`` controls how fast the step decays; the paper leaves it as a
+    tunable parameter.
+    """
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+
+    def rule(iteration: int) -> float:
+        return 1.0 / (1.0 + alpha * iteration)
+
+    return rule
+
+
+def constant_step_rule(step: float) -> StepRule:
+    """Constant step ``delta_l = step`` (converges to a neighbourhood)."""
+    if step <= 0:
+        raise ConfigurationError(f"step must be positive, got {step}")
+
+    def rule(iteration: int) -> float:
+        return step
+
+    return rule
+
+
+def sqrt_step_rule(scale: float = 1.0) -> StepRule:
+    """Classic non-summable, square-summable rule ``delta_l = scale / sqrt(l)``."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+
+    def rule(iteration: int) -> float:
+        return scale / np.sqrt(iteration)
+
+    return rule
+
+
+def project_nonnegative(mu: FloatArray) -> FloatArray:
+    """The ``[.]^+`` projection of Eq. 15 onto the feasible multiplier set."""
+    return np.maximum(mu, 0.0)
+
+
+def subgradient_step(
+    mu: FloatArray, subgrad: FloatArray, step: float
+) -> FloatArray:
+    """One dual ascent step ``[mu + step * subgrad]^+`` (Eq. 15)."""
+    if step < 0:
+        raise ConfigurationError(f"step must be >= 0, got {step}")
+    return project_nonnegative(mu + step * subgrad)

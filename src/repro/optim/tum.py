@@ -1,0 +1,94 @@
+"""Total-unimodularity utilities (the machinery behind Theorem 1).
+
+Theorem 1 of the paper shows the caching subproblem's constraint matrix is
+totally unimodular (TU), so the LP relaxation of the 0-1 caching problem
+has an integral optimum (Lemmas 1-2, Hoffman-Kruskal). This module provides
+
+- :func:`is_totally_unimodular` — a direct determinant check over all
+  square submatrices (exponential; intended for tests on small matrices),
+- :func:`is_interval_matrix` — the consecutive-ones sufficient condition,
+- :func:`ghouila_houri_check` — the Ghouila-Houri characterization via row
+  2-colourings, practical up to ~20 rows.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+def _validate_matrix(A: FloatArray) -> FloatArray:
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ConfigurationError(f"expected a matrix, got shape {A.shape}")
+    if not np.all(np.isin(A, (-1.0, 0.0, 1.0))):
+        raise ConfigurationError("TU checks require entries in {-1, 0, +1}")
+    return A
+
+
+def is_totally_unimodular(A: FloatArray, *, max_order: int | None = None) -> bool:
+    """Check total unimodularity by enumerating square submatrix determinants.
+
+    Every square submatrix determinant must lie in ``{-1, 0, +1}``.
+    Exponential in the matrix size — use only for small test matrices.
+    ``max_order`` optionally caps the submatrix order checked.
+    """
+    A = _validate_matrix(A)
+    m, n = A.shape
+    top = min(m, n)
+    if max_order is not None:
+        top = min(top, max_order)
+    for order in range(1, top + 1):
+        for rows in combinations(range(m), order):
+            sub_rows = A[list(rows), :]
+            for cols in combinations(range(n), order):
+                det = np.linalg.det(sub_rows[:, list(cols)])
+                if abs(det - round(det)) > 1e-7 or round(det) not in (-1, 0, 1):
+                    return False
+    return True
+
+
+def is_interval_matrix(A: FloatArray) -> bool:
+    """Check the consecutive-ones property (each column's 1s are contiguous).
+
+    Interval matrices are TU; the caching LP's per-slot capacity block has
+    this shape.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ConfigurationError(f"expected a matrix, got shape {A.shape}")
+    if not np.all(np.isin(A, (0.0, 1.0))):
+        return False
+    for col in A.T:
+        ones = np.flatnonzero(col)
+        if ones.size and not np.array_equal(ones, np.arange(ones[0], ones[-1] + 1)):
+            return False
+    return True
+
+
+def ghouila_houri_check(A: FloatArray) -> bool:
+    """Ghouila-Houri characterization of TU.
+
+    A matrix is TU iff every subset of rows can be partitioned into two
+    sets whose signed sum (set1 - set2) has all entries in ``{-1, 0, +1}``.
+    Exponential in the number of rows (2^m sign patterns per subset), so
+    practical only for small test matrices.
+    """
+    A = _validate_matrix(A)
+    m = A.shape[0]
+    for size in range(1, m + 1):
+        for rows in combinations(range(m), size):
+            sub = A[list(rows), :]
+            ok = False
+            for signs in product((1.0, -1.0), repeat=size):
+                combo = np.asarray(signs) @ sub
+                if np.all(np.abs(combo) <= 1.0 + 1e-9):
+                    ok = True
+                    break
+            if not ok:
+                return False
+    return True

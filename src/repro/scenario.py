@@ -1,0 +1,148 @@
+"""Scenario description and the policy interface.
+
+A :class:`Scenario` is one complete evaluation setting: the network, the
+ground-truth demand trace, the predictor the online controllers are allowed
+to consult, and the initial cache state. A *policy* maps a scenario to a
+:class:`PolicyPlan` — a caching trajectory plus (optionally) the
+load-balancing decisions it computed along the way. Realized costs are
+assigned by the simulation engine (:mod:`repro.sim.engine`), which scores
+every policy with the same fixed-cache oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.problem import JointProblem
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.costs import OperatingCost, QuadraticOperatingCost
+from repro.network.topology import Network
+from repro.types import FloatArray
+from repro.workload.demand import DemandMatrix
+from repro.workload.predictor import DemandPredictor, PerfectPredictor
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation setting shared by all policies under comparison.
+
+    Parameters
+    ----------
+    network:
+        The 5G network.
+    demand:
+        Ground-truth demand trace (what realized costs are computed on).
+    predictor:
+        What online controllers see; defaults to a perfect predictor.
+    x_initial:
+        Cache state before slot 0 (defaults to empty, the paper's
+        convention ``x^t = 0`` for ``t <= 0``).
+    bs_cost, sbs_cost:
+        Operating-cost shapes (paper defaults: quadratics).
+    """
+
+    network: Network
+    demand: DemandMatrix
+    predictor: DemandPredictor | None = None
+    x_initial: FloatArray | None = None
+    bs_cost: OperatingCost = field(default_factory=QuadraticOperatingCost)
+    sbs_cost: OperatingCost = field(default_factory=QuadraticOperatingCost)
+
+    def __post_init__(self) -> None:
+        if self.demand.num_classes != self.network.num_classes:
+            raise DimensionMismatchError(
+                f"demand has {self.demand.num_classes} classes, network has "
+                f"{self.network.num_classes}"
+            )
+        if self.demand.num_items != self.network.num_items:
+            raise DimensionMismatchError(
+                f"demand has {self.demand.num_items} items, catalog has "
+                f"{self.network.num_items}"
+            )
+        if self.predictor is None:
+            object.__setattr__(self, "predictor", PerfectPredictor(self.demand))
+        if self.x_initial is None:
+            x0 = np.zeros((self.network.num_sbs, self.network.num_items))
+            object.__setattr__(self, "x_initial", x0)
+
+    @property
+    def horizon(self) -> int:
+        return self.demand.horizon
+
+    def problem(self) -> JointProblem:
+        """The full-horizon joint problem on the *true* demand."""
+        return JointProblem(
+            network=self.network,
+            demand=self.demand.rates,
+            x_initial=self.x_initial,
+            bs_cost=self.bs_cost,
+            sbs_cost=self.sbs_cost,
+        )
+
+    def window_problem(
+        self, predicted_demand: FloatArray, x_initial: FloatArray
+    ) -> JointProblem:
+        """A window sub-problem on *predicted* demand (for controllers)."""
+        return JointProblem(
+            network=self.network,
+            demand=predicted_demand,
+            x_initial=x_initial,
+            bs_cost=self.bs_cost,
+            sbs_cost=self.sbs_cost,
+        )
+
+    def with_predictor(self, predictor: DemandPredictor) -> "Scenario":
+        return replace(self, predictor=predictor)
+
+
+@dataclass(frozen=True)
+class PolicyPlan:
+    """What a policy decided for a scenario.
+
+    Attributes
+    ----------
+    x:
+        Integral caching trajectory, shape ``(T, N, K)``.
+    y:
+        The policy's own load-balancing decisions (possibly based on
+        predicted demand), or ``None`` when the policy only decides caches.
+    solves:
+        Number of optimization solves the policy performed (for reports).
+    """
+
+    x: FloatArray
+    y: FloatArray | None = None
+    solves: int = 0
+
+
+@runtime_checkable
+class CachingPolicy(Protocol):
+    """A policy maps a scenario to a plan; ``name`` labels reports."""
+
+    @property
+    def name(self) -> str: ...
+
+    def plan(self, scenario: Scenario) -> PolicyPlan: ...
+
+
+def validate_plan(scenario: Scenario, plan: PolicyPlan) -> None:
+    """Sanity-check a plan's shapes and cache feasibility."""
+    T = scenario.horizon
+    net = scenario.network
+    expected_x = (T, net.num_sbs, net.num_items)
+    if plan.x.shape != expected_x:
+        raise DimensionMismatchError(
+            f"plan.x has shape {plan.x.shape}, expected {expected_x}"
+        )
+    if np.any((plan.x < -1e-9) | (plan.x > 1 + 1e-9)):
+        raise ConfigurationError("plan.x outside [0, 1]")
+    used = plan.x.sum(axis=2)
+    if np.any(used > net.cache_sizes[None, :] + 1e-9):
+        raise ConfigurationError("plan.x exceeds cache capacity")
+    if plan.y is not None and plan.y.shape != (T, net.num_classes, net.num_items):
+        raise DimensionMismatchError(
+            f"plan.y has shape {plan.y.shape}, expected (T, M, K)"
+        )

@@ -1,0 +1,34 @@
+"""Simulation engine, experiment sweeps, and report rendering."""
+
+from repro.sim.engine import RunResult, evaluate_plan
+from repro.sim.experiment import (
+    SweepPoint,
+    SweepResult,
+    bandwidth_sweep,
+    beta_sweep,
+    default_policies,
+    headline_comparison,
+    noise_sweep,
+    paper_scenario,
+    window_sweep,
+)
+from repro.sim.runner import run_policies, run_policy
+from repro.sim.report import render_sweep_table, render_headline_table
+
+__all__ = [
+    "RunResult",
+    "SweepPoint",
+    "SweepResult",
+    "bandwidth_sweep",
+    "beta_sweep",
+    "default_policies",
+    "evaluate_plan",
+    "headline_comparison",
+    "noise_sweep",
+    "paper_scenario",
+    "render_headline_table",
+    "render_sweep_table",
+    "run_policies",
+    "run_policy",
+    "window_sweep",
+]

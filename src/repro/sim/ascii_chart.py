@@ -1,0 +1,67 @@
+"""Minimal ASCII line charts for sweep series.
+
+The CLI runs in terminals without plotting libraries; this renders a sweep
+as a fixed-grid character chart so trends (who wins, crossings, flat
+baselines) are visible at a glance without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sim.experiment import SweepResult
+
+_MARKERS = "ox*+#@%&"
+
+
+def render_ascii_chart(
+    sweep: SweepResult,
+    metric: str,
+    *,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one metric of a sweep as an ASCII chart with a legend."""
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart needs width >= 16 and height >= 4")
+    table = sweep.table(metric)
+    if not table:
+        raise ConfigurationError("sweep has no policies to plot")
+    values = np.asarray(sweep.values, dtype=np.float64)
+    all_y = np.array(list(table.values()), dtype=np.float64)
+    lo = float(all_y.min())
+    hi = float(all_y.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_span = float(values.max() - values.min()) or 1.0
+
+    def col(v: float) -> int:
+        return int(round((v - values.min()) / x_span * (width - 1)))
+
+    def row(y: float) -> int:
+        frac = (y - lo) / (hi - lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    for idx, (name, series) in enumerate(table.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for v, y in zip(values, series):
+            grid[row(float(y))][col(float(v))] = marker
+
+    lines = [f"{metric} vs {sweep.parameter}"]
+    lines.append(f"{hi:>12.1f} ┤" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 12 + " │" + "".join(grid[r]))
+    lines.append(f"{lo:>12.1f} ┤" + "".join(grid[-1]))
+    axis = " " * 12 + " └" + "─" * width
+    lines.append(axis)
+    lines.append(
+        " " * 14 + f"{values.min():<10g}{'':^{max(width - 20, 0)}}{values.max():>10g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(table)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)

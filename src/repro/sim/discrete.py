@@ -1,0 +1,175 @@
+"""Discrete request-level replay of a caching/load-balancing plan.
+
+The optimization model is *fluid*: demand is a mean rate and ``y`` splits
+it fractionally. A real SBS serves individual requests. This module
+replays a sampled :class:`~repro.workload.trace.RequestTrace` against a
+plan, routing integer requests under the actual cache contents and
+bandwidth, and reports the realized costs — validating that conclusions
+drawn from the fluid model survive integer granularity.
+
+Routing per slot:
+
+1. a request for content ``k`` from class ``m`` can go to the SBS only if
+   ``x[t, sbs(m), k] = 1``;
+2. the plan's ``y[t, m, k]`` gives the target fraction routed to the SBS
+   (``stochastic=False`` routes the expected integer count, rounding by
+   largest remainder; ``stochastic=True`` samples Binomial);
+3. if the SBS's integer service budget ``floor(B_n)`` is exceeded, excess
+   requests spill back to the BS in increasing-``omega`` order (cheapest
+   spill first), mirroring the fluid model's greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.costs import CostBreakdown, OperatingCost, QuadraticOperatingCost
+from repro.network.topology import Network
+from repro.types import FloatArray, IntArray
+from repro.workload.trace import RequestTrace
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of a discrete replay.
+
+    Attributes
+    ----------
+    served_sbs, served_bs:
+        Integer requests served by the SBS / BS per ``(t, m, k)``.
+    cost:
+        Realized itemized cost, computed on the integer counts.
+    hit_requests:
+        Requests whose content was cached at request time (served from the
+        SBS or not - the cacheability measure).
+    total_requests:
+        Total requests in the trace.
+    """
+
+    served_sbs: IntArray
+    served_bs: IntArray
+    cost: CostBreakdown
+    hit_requests: int
+    total_requests: int
+
+    @property
+    def offload_ratio(self) -> float:
+        return self.served_sbs.sum() / max(self.total_requests, 1)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hit_requests / max(self.total_requests, 1)
+
+
+def _largest_remainder_round(targets: FloatArray) -> IntArray:
+    """Round non-negative targets to integers preserving the rounded total.
+
+    Works on arrays of any shape (rounding is global across all entries).
+    """
+    flat = np.asarray(targets, dtype=np.float64).reshape(-1)
+    floors = np.floor(flat).astype(np.int64)
+    remainders = flat - floors
+    extra = int(round(float(remainders.sum())))
+    if extra > 0:
+        order = np.argsort(-remainders, kind="stable")[:extra]
+        floors[order] += 1
+    return floors.reshape(np.asarray(targets).shape)
+
+
+def replay_trace(
+    network: Network,
+    trace: RequestTrace,
+    x: FloatArray,
+    y: FloatArray,
+    *,
+    x_initial: FloatArray | None = None,
+    stochastic: bool = False,
+    rng: np.random.Generator | None = None,
+    bs_cost: OperatingCost | None = None,
+    sbs_cost: OperatingCost | None = None,
+) -> ReplayReport:
+    """Replay ``trace`` against the plan ``(x, y)``; see module docstring."""
+    T, M, K = trace.counts.shape
+    if x.shape != (T, network.num_sbs, K):
+        raise DimensionMismatchError(f"x has shape {x.shape}")
+    if y.shape != (T, M, K):
+        raise DimensionMismatchError(f"y has shape {y.shape}")
+    if stochastic and rng is None:
+        raise ConfigurationError("stochastic replay needs an rng")
+    bs_cost = bs_cost or QuadraticOperatingCost()
+    sbs_cost = sbs_cost or QuadraticOperatingCost()
+
+    counts = trace.counts
+    cached = x[:, network.class_sbs, :] > 0.5  # (T, M, K)
+
+    # Step 1+2: per-cell target SBS service.
+    if stochastic:
+        assert rng is not None
+        routed = rng.binomial(counts, np.clip(y, 0.0, 1.0) * cached)
+    else:
+        routed = np.zeros_like(counts)
+        for t in range(T):
+            targets = counts[t] * np.clip(y[t], 0.0, 1.0) * cached[t]
+            routed[t] = _largest_remainder_round(targets)
+    routed = np.minimum(routed, counts * cached)
+
+    # Step 3: integer bandwidth budgets, spilling cheapest requests first.
+    budgets = np.floor(network.bandwidths).astype(np.int64)
+    for t in range(T):
+        for n in range(network.num_sbs):
+            classes = network.classes_of_sbs[n]
+            load = int(routed[t][classes].sum())
+            excess = load - int(budgets[n])
+            if excess <= 0:
+                continue
+            omega = network.omega_bs[classes]
+            # Spill from the lowest-omega classes first (cheapest on the BS).
+            for idx in np.argsort(omega, kind="stable"):
+                if excess <= 0:
+                    break
+                m = classes[idx]
+                row = routed[t, m]
+                take = min(int(row.sum()), excess)
+                # Remove requests item by item (largest allocations first).
+                for k in np.argsort(-row, kind="stable"):
+                    if take <= 0:
+                        break
+                    dec = min(int(row[k]), take)
+                    routed[t, m, k] -= dec
+                    take -= dec
+                    excess -= dec
+
+    served_bs = counts - routed
+
+    # Realized costs on the integer counts.
+    totals = CostBreakdown.zero()
+    prev = (
+        np.zeros((network.num_sbs, K)) if x_initial is None else x_initial
+    )
+    for t in range(T):
+        bs_load = np.zeros(network.num_sbs)
+        sbs_load = np.zeros(network.num_sbs)
+        per_class_bs = network.omega_bs * served_bs[t].sum(axis=1)
+        per_class_sbs = network.omega_sbs * routed[t].sum(axis=1)
+        np.add.at(bs_load, network.class_sbs, per_class_bs)
+        np.add.at(sbs_load, network.class_sbs, per_class_sbs)
+        inserted = np.clip(x[t] - prev, 0.0, None).sum(axis=1)
+        totals = totals + CostBreakdown(
+            bs_cost.evaluate(bs_load),
+            sbs_cost.evaluate(sbs_load),
+            float(np.dot(network.replacement_costs, inserted)),
+            int(np.count_nonzero((x[t] - prev) > 1e-6)),
+        )
+        prev = x[t]
+
+    hit_requests = int((counts * cached).sum())
+    return ReplayReport(
+        served_sbs=routed,
+        served_bs=served_bs,
+        cost=totals,
+        hit_requests=hit_requests,
+        total_requests=int(counts.sum()),
+    )

@@ -1,0 +1,62 @@
+"""Plain-text rendering of sweep results as the paper's figure data.
+
+The harness is figure-free by design (numbers, not pixels): each function
+prints the series a figure panel plots, so results can be diffed against
+the paper's curves and recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.experiment import SweepResult
+
+#: Human-readable labels for the recorded metrics.
+METRIC_LABELS: Mapping[str, str] = {
+    "total": "total operating cost",
+    "bs_cost": "BS operating cost",
+    "sbs_cost": "SBS operating cost",
+    "replacement": "cache replacement cost",
+    "replacements": "# cache replacements",
+    "solves": "# optimization solves",
+}
+
+
+def render_sweep_table(sweep: SweepResult, metric: str, *, title: str = "") -> str:
+    """One metric of a sweep as an aligned text table (policies x values)."""
+    label = METRIC_LABELS.get(metric, metric)
+    header_title = title or f"{label} vs {sweep.parameter}"
+    values = sweep.values
+    name_width = max([len(p) for p in sweep.policies] + [len(sweep.parameter)])
+    col_width = max(12, max(len(f"{v:g}") for v in values) + 2)
+
+    lines = [header_title, "-" * len(header_title)]
+    header = sweep.parameter.ljust(name_width) + "".join(
+        f"{v:>{col_width}g}" for v in values
+    )
+    lines.append(header)
+    for policy in sweep.policies:
+        row = policy.ljust(name_width)
+        for v in sweep.series(metric, policy):
+            row += f"{v:>{col_width}.1f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_headline_table(sweep: SweepResult, *, reference: str = "LRFU") -> str:
+    """Section V-C(1)-style summary: savings vs LRFU and ratios to offline."""
+    if len(sweep.points) != 1:
+        raise ValueError("headline table expects a single-point sweep")
+    metrics = sweep.points[0].metrics
+    lines = [
+        f"headline comparison at {sweep.parameter} = {sweep.points[0].value:g}",
+        f"{'policy':<16}{'total cost':>14}{'vs ' + reference:>12}{'vs Offline':>12}",
+    ]
+    ref_total = metrics[reference]["total"] if reference in metrics else float("nan")
+    off_total = metrics.get("Offline", {}).get("total", float("nan"))
+    for policy, vals in metrics.items():
+        total = vals["total"]
+        saving = (1.0 - total / ref_total) * 100.0 if ref_total else float("nan")
+        ratio = total / off_total if off_total else float("nan")
+        lines.append(f"{policy:<16}{total:>14.1f}{saving:>11.1f}%{ratio:>12.3f}")
+    return "\n".join(lines)

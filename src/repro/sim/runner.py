@@ -1,0 +1,54 @@
+"""Run policies on scenarios and collect results."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping
+
+from repro.scenario import CachingPolicy, Scenario
+from repro.sim.engine import EvaluationMode, RunResult, evaluate_plan
+
+
+def run_policy(
+    scenario: Scenario,
+    policy: CachingPolicy,
+    *,
+    mode: EvaluationMode = "reoptimize",
+) -> RunResult:
+    """Plan with ``policy`` and score it against the scenario's true demand."""
+    plan = policy.plan(scenario)
+    return evaluate_plan(scenario, plan, policy_name=policy.name, mode=mode)
+
+
+def run_policies(
+    scenario: Scenario,
+    policies: Iterable[CachingPolicy],
+    *,
+    mode: EvaluationMode = "reoptimize",
+    verbose: bool = False,
+) -> dict[str, RunResult]:
+    """Run several policies on the same scenario; keyed by policy name."""
+    results: dict[str, RunResult] = {}
+    for policy in policies:
+        started = time.perf_counter()
+        results[policy.name] = run_policy(scenario, policy, mode=mode)
+        if verbose:
+            elapsed = time.perf_counter() - started
+            total = results[policy.name].cost.total
+            print(f"  {policy.name:<16} total={total:12.1f}  ({elapsed:.2f}s)")
+    return results
+
+
+def cost_ratios(
+    results: Mapping[str, RunResult], *, reference: str = "Offline"
+) -> dict[str, float]:
+    """Total-cost ratios of every policy to a reference policy.
+
+    The paper's Section V-C reports these as "cost ratio to offline".
+    """
+    if reference not in results:
+        raise KeyError(f"reference policy {reference!r} not in results")
+    base = results[reference].cost.total
+    if base <= 0:
+        return {name: float("nan") for name in results}
+    return {name: r.cost.total / base for name, r in results.items()}

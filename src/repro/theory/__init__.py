@@ -1,0 +1,15 @@
+"""Theoretical guarantees from the paper (Theorems 1-3 and Section IV)."""
+
+from repro.theory.bounds import (
+    afhc_competitive_ratio,
+    chc_competitive_ratio,
+    chc_rounding_ratio,
+    rhc_competitive_ratio,
+)
+
+__all__ = [
+    "afhc_competitive_ratio",
+    "chc_competitive_ratio",
+    "chc_rounding_ratio",
+    "rhc_competitive_ratio",
+]

@@ -1,0 +1,54 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library consistently uses the following array conventions:
+
+- Demand matrices are ``float64`` arrays of shape ``(T, M, K)`` where ``T``
+  is the number of timeslots, ``M`` the total number of MU classes (across
+  all SBSs), and ``K`` the catalog size.
+- Caching decisions are arrays of shape ``(T, N, K)`` with values in
+  ``{0, 1}`` (or ``[0, 1]`` for relaxed iterates).
+- Load-balancing decisions are arrays of shape ``(T, M, K)`` with values in
+  ``[0, 1]``; entry ``y[t, m, k]`` is the fraction of class ``m``'s demand
+  for content ``k`` served by its SBS in slot ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+
+ArrayLike = Union[npt.ArrayLike, FloatArray]
+
+#: Absolute tolerance used when deciding whether a relaxed caching variable
+#: is integral.
+INTEGRALITY_ATOL: float = 1e-6
+
+#: Default relative duality-gap tolerance for the primal-dual algorithm
+#: (the paper's Algorithm 1 uses ``epsilon = 0.0001``).
+DEFAULT_GAP_TOL: float = 1e-4
+
+
+def as_float_array(values: ArrayLike, *, name: str = "array") -> FloatArray:
+    """Convert ``values`` to a C-contiguous float64 array.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` when the input
+    contains NaNs or infinities, which would silently poison downstream
+    optimization otherwise.
+    """
+    from repro.exceptions import ConfigurationError
+
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return arr
+
+
+def is_binary(values: FloatArray, *, atol: float = INTEGRALITY_ATOL) -> bool:
+    """Return ``True`` when every entry of ``values`` is within ``atol`` of 0 or 1."""
+    return bool(np.all(np.minimum(np.abs(values), np.abs(values - 1.0)) <= atol))

@@ -1,0 +1,35 @@
+"""Workload generation: content popularity, demand matrices, predictors."""
+
+from repro.workload.demand import (
+    DemandMatrix,
+    constant_demand,
+    diurnal_demand,
+    flash_crowd_demand,
+    paper_demand,
+    shifting_popularity_demand,
+)
+from repro.workload.predictor import (
+    DemandPredictor,
+    PerfectPredictor,
+    PerturbedPredictor,
+    window_view,
+)
+from repro.workload.trace import RequestTrace, sample_poisson_trace
+from repro.workload.zipf import zipf_mandelbrot_pmf, zipf_mandelbrot_weights
+
+__all__ = [
+    "DemandMatrix",
+    "DemandPredictor",
+    "PerfectPredictor",
+    "PerturbedPredictor",
+    "RequestTrace",
+    "constant_demand",
+    "diurnal_demand",
+    "flash_crowd_demand",
+    "paper_demand",
+    "sample_poisson_trace",
+    "shifting_popularity_demand",
+    "window_view",
+    "zipf_mandelbrot_pmf",
+    "zipf_mandelbrot_weights",
+]

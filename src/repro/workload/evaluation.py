@@ -1,0 +1,86 @@
+"""Forecast-quality measurement for demand predictors.
+
+Quantifies what a predictor actually delivers — per-lookahead error
+profiles — so that scenario calibrations ("eta = 0.1 with frozen noise")
+can be verified empirically rather than assumed. Used by the prediction
+examples and the workload test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+from repro.workload.demand import DemandMatrix
+from repro.workload.predictor import DemandPredictor
+
+
+@dataclass(frozen=True)
+class ForecastProfile:
+    """Per-lookahead-distance error statistics of a predictor.
+
+    Attributes
+    ----------
+    mape:
+        Mean absolute percentage error at each lookahead ``d = 0..w-1``
+        (over entries with positive true demand), shape ``(w,)``.
+    bias:
+        Mean signed relative error at each lookahead, shape ``(w,)``.
+    """
+
+    mape: FloatArray
+    bias: FloatArray
+
+    @property
+    def window(self) -> int:
+        return self.mape.shape[0]
+
+    def is_degrading(self, *, factor: float = 1.2) -> bool:
+        """True when the far end of the window is at least ``factor`` times
+        noisier than the near end."""
+        near = float(self.mape[0])
+        far = float(self.mape[-1])
+        if near == 0.0:
+            return far > 0.0
+        return far >= factor * near
+
+
+def profile_predictor(
+    predictor: DemandPredictor,
+    demand: DemandMatrix,
+    *,
+    window: int,
+    decision_times: range | None = None,
+) -> ForecastProfile:
+    """Measure a predictor's error profile against the true demand.
+
+    Issues a forecast window at each decision time and accumulates relative
+    errors bucketed by lookahead distance.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    times = decision_times or range(max(demand.horizon - window + 1, 1))
+    abs_err = np.zeros(window)
+    signed_err = np.zeros(window)
+    counts = np.zeros(window)
+    for tau in times:
+        forecast = predictor.predict_window(tau, tau, window)
+        for d in range(window):
+            t = tau + d
+            if not 0 <= t < demand.horizon:
+                continue
+            true = demand.rates[t]
+            mask = true > 0
+            if not np.any(mask):
+                continue
+            rel = (forecast[d][mask] - true[mask]) / true[mask]
+            abs_err[d] += float(np.abs(rel).sum())
+            signed_err[d] += float(rel.sum())
+            counts[d] += int(mask.sum())
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mape = np.where(counts > 0, abs_err / counts, 0.0)
+        bias = np.where(counts > 0, signed_err / counts, 0.0)
+    return ForecastProfile(mape=mape, bias=bias)

@@ -1,0 +1,150 @@
+"""Demand predictors used by the online controllers (Section V-B).
+
+Online algorithms see only *predictions* of future demand inside a lookahead
+window of ``w`` slots. The paper models prediction error multiplicatively:
+with perturbation parameter ``eta`` each predicted popularity value is drawn
+uniformly from ``[(1 - eta) * p, (1 + eta) * p]``. We apply the same
+multiplicative perturbation directly to the demand entries (demand is
+density times popularity, so perturbing either factor is equivalent).
+
+Three noise modes are provided:
+
+- ``degrading`` (default): the error has two parts. A *frozen* base
+  component at level ``eta`` (an irreducible per-slot forecast bias that
+  every re-issue of the forecast repeats), plus an *excess* component at
+  level ``eta * (sqrt(t - tau + 1) - 1)`` that grows with lookahead
+  distance and is re-drawn at every decision time. This follows the
+  paper's own premise that "the prediction quality would be worse if
+  predicted further into the future" (Section IV) and is what makes the
+  commitment level matter: AFHC commits a whole window on stale long-range
+  forecasts while RHC always acts on the freshest one — yet RHC does not
+  churn, because the short-range forecast (pure base component) is stable
+  across its re-solves.
+- ``frozen``: the perturbation factor of slot ``t`` is fixed once per
+  trace at level ``eta``, so every controller that looks at slot ``t`` —
+  from whichever decision time — sees the same forecast.
+- ``resample``: like ``frozen`` per-slot levels, but every
+  ``(decision_time, window)`` pair gets fresh noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+from repro.workload.demand import DemandMatrix
+
+
+class DemandPredictor(Protocol):
+    """Forecast interface used by all online controllers."""
+
+    def predict_window(self, decided_at: int, start: int, length: int) -> FloatArray:
+        """Forecast demand for slots ``start..start+length-1``.
+
+        ``decided_at`` is the slot at which the forecast is requested (used
+        only by the ``resample`` noise mode). Returns shape ``(length, M, K)``,
+        zero-padded outside the trace horizon.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class PerfectPredictor:
+    """Oracle predictor: returns the true demand (``eta = 0``)."""
+
+    demand: DemandMatrix
+
+    def predict_window(self, decided_at: int, start: int, length: int) -> FloatArray:
+        return self.demand.window(start, length)
+
+
+@dataclass(frozen=True)
+class PerturbedPredictor:
+    """The paper's multiplicative-noise predictor.
+
+    Parameters
+    ----------
+    demand:
+        Ground-truth demand trace.
+    eta:
+        Base perturbation level in ``[0, 1]``. In ``frozen``/``resample``
+        modes every forecast entry is the true rate scaled by
+        ``U[1 - eta, 1 + eta]``; in ``degrading`` mode the scale is the
+        product of a frozen ``U[1 -+ eta]`` base factor and a fresh excess
+        factor at level ``eta * (sqrt(d + 1) - 1)`` for lookahead ``d``.
+    seed:
+        Seed of the noise stream.
+    mode:
+        ``"degrading"`` (default), ``"frozen"``, or ``"resample"``.
+    """
+
+    demand: DemandMatrix
+    eta: float
+    seed: int = 0
+    mode: Literal["degrading", "frozen", "resample"] = "degrading"
+    _frozen_factors: FloatArray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.eta <= 1.0:
+            raise ConfigurationError(f"eta must be in [0, 1], got {self.eta}")
+        if self.mode not in ("degrading", "frozen", "resample"):
+            raise ConfigurationError(f"unknown noise mode {self.mode!r}")
+        rng = np.random.default_rng(self.seed)
+        factors = rng.uniform(
+            1.0 - self.eta, 1.0 + self.eta, size=self.demand.rates.shape
+        )
+        object.__setattr__(self, "_frozen_factors", factors)
+
+    def predict_window(self, decided_at: int, start: int, length: int) -> FloatArray:
+        true = self.demand.window(start, length)
+        if self.eta == 0.0:
+            return true
+        if self.mode == "frozen":
+            factors = np.ones_like(true)
+            lo = max(start, 0)
+            hi = min(start + length, self.demand.horizon)
+            if lo < hi:
+                factors[lo - start : hi - start] = self._frozen_factors[lo:hi]
+            return true * factors
+        # A fresh, deterministic stream per (decision time, window start).
+        # Decision times can be negative (FHC variants anchor their first
+        # window before slot 0), so keys are offset into the non-negatives.
+        offset = 1 << 20
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed,
+                spawn_key=(decided_at + offset, start + offset),
+            )
+        )
+        if self.mode == "resample":
+            factors = rng.uniform(1.0 - self.eta, 1.0 + self.eta, size=true.shape)
+            return true * factors
+        # degrading: a frozen base bias plus excess noise that widens with
+        # lookahead distance from decided_at.
+        base = np.ones_like(true)
+        lo = max(start, 0)
+        hi = min(start + length, self.demand.horizon)
+        if lo < hi:
+            base[lo - start : hi - start] = self._frozen_factors[lo:hi]
+        distances = np.arange(start, start + length) - decided_at
+        levels = self.eta * (np.sqrt(np.maximum(distances, 0) + 1.0) - 1.0)
+        draws = rng.uniform(-1.0, 1.0, size=true.shape)
+        excess = np.maximum(1.0 + levels[:, None, None] * draws, 0.0)
+        return true * base * excess
+
+
+def window_view(
+    predictor: DemandPredictor, decided_at: int, window: int
+) -> FloatArray:
+    """Forecast the ``window`` slots starting at ``decided_at``.
+
+    Convenience wrapper matching the paper's notation ``lambda_{.|tau}``:
+    at decision time ``tau`` the controller sees slots ``tau .. tau+w-1``.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    return predictor.predict_window(decided_at, decided_at, window)

@@ -1,0 +1,61 @@
+"""Discrete request traces sampled from mean arrival rates.
+
+The optimization model works with mean rates ``lambda[t, m, k]``; real
+systems see integer request counts. :func:`sample_poisson_trace` bridges
+the two by sampling Poisson counts around the rates, which examples use to
+drive cache baselines the way a deployed SBS would (counting actual
+requests rather than reading rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError
+from repro.types import FloatArray, IntArray
+from repro.workload.demand import DemandMatrix
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """Integer request counts per ``(slot, class, item)``, shape ``(T, M, K)``."""
+
+    counts: IntArray
+
+    def __post_init__(self) -> None:
+        counts = np.ascontiguousarray(self.counts, dtype=np.int64)
+        if counts.ndim != 3:
+            raise DimensionMismatchError(
+                f"trace must have shape (T, M, K), got {counts.shape}"
+            )
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def horizon(self) -> int:
+        return self.counts.shape[0]
+
+    def per_item_counts(self, t: int) -> IntArray:
+        """Aggregate request count per item in slot ``t``, shape ``(K,)``."""
+        return self.counts[t].sum(axis=0)
+
+    def to_demand(self) -> DemandMatrix:
+        """Reinterpret the counts as a (deterministic) demand matrix."""
+        return DemandMatrix(self.counts.astype(np.float64))
+
+
+def sample_poisson_trace(
+    demand: DemandMatrix, *, rng: np.random.Generator
+) -> RequestTrace:
+    """Sample a Poisson request trace with the given mean rates."""
+    counts = rng.poisson(demand.rates).astype(np.int64)
+    return RequestTrace(counts)
+
+
+def empirical_rates(trace: RequestTrace, *, smoothing: float = 0.0) -> FloatArray:
+    """Estimate per-slot rates from a trace (optionally Laplace-smoothed)."""
+    counts = trace.counts.astype(np.float64)
+    if smoothing > 0:
+        counts = counts + smoothing
+    return counts

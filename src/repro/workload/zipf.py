@@ -1,0 +1,55 @@
+"""Zipf-Mandelbrot content popularity model (paper Eq. 49).
+
+The paper models MU request patterns with the Zipf-Mandelbrot law
+
+    p(i) = K / (i + q)**alpha,
+
+with shape ``alpha = 0.8`` and shift ``q = 30`` in the simulations
+(Section V-B). Ranks are 1-based in the formula; this module exposes both
+the raw (unnormalized) weights exactly as Eq. 49 writes them and a
+normalized pmf for sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+#: Paper defaults (Section V-B).
+DEFAULT_ALPHA: float = 0.8
+DEFAULT_SHIFT: float = 30.0
+
+
+def zipf_mandelbrot_weights(
+    num_items: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    shift: float = DEFAULT_SHIFT,
+) -> FloatArray:
+    """Unnormalized Zipf-Mandelbrot weights ``K / (i + q)**alpha``.
+
+    ``i`` runs over ranks ``1..num_items`` and the leading constant is the
+    catalog size ``K`` exactly as in Eq. 49, so the weights carry the same
+    scale the paper's generator uses.
+    """
+    if num_items <= 0:
+        raise ConfigurationError(f"num_items must be positive, got {num_items}")
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+    if shift <= -1:
+        raise ConfigurationError(f"shift must be > -1, got {shift}")
+    ranks = np.arange(1, num_items + 1, dtype=np.float64)
+    return num_items / np.power(ranks + shift, alpha)
+
+
+def zipf_mandelbrot_pmf(
+    num_items: int,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    shift: float = DEFAULT_SHIFT,
+) -> FloatArray:
+    """Normalized Zipf-Mandelbrot pmf over ranks ``1..num_items``."""
+    weights = zipf_mandelbrot_weights(num_items, alpha=alpha, shift=shift)
+    return weights / weights.sum()

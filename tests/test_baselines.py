@@ -1,0 +1,130 @@
+"""Tests for the baseline caching policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FIFO, LFU, LRFU, LRU, NoCache, StaticTopK
+from repro.network.topology import single_cell_network
+from repro.scenario import Scenario, validate_plan
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import DemandMatrix, paper_demand
+
+
+def _scenario(rates: np.ndarray, *, C=2, B=10.0, beta=1.0) -> Scenario:
+    T, M, K = rates.shape
+    net = single_cell_network(
+        num_items=K,
+        cache_size=C,
+        bandwidth=B,
+        replacement_cost=beta,
+        omega_bs=[0.5] * M,
+    )
+    return Scenario(network=net, demand=DemandMatrix(rates))
+
+
+class TestLRFU:
+    def test_caches_top_by_volume(self):
+        rates = np.zeros((2, 1, 4))
+        rates[0, 0] = [5.0, 1.0, 3.0, 0.5]
+        rates[1, 0] = [0.5, 5.0, 3.0, 1.0]
+        plan = LRFU().plan(_scenario(rates))
+        np.testing.assert_allclose(plan.x[0, 0], [1, 0, 1, 0])
+        np.testing.assert_allclose(plan.x[1, 0], [0, 1, 1, 0])
+
+    def test_skips_zero_demand_items(self):
+        rates = np.zeros((1, 1, 4))
+        rates[0, 0, 0] = 1.0
+        plan = LRFU().plan(_scenario(rates))
+        assert plan.x[0, 0].sum() == 1.0
+
+    def test_stationary_pattern_constant_cache(self, rng):
+        dm = paper_demand(
+            5, 3, 6, rng=rng, density_mode="static", density_jitter=0.0
+        )
+        sc = _scenario(dm.rates)
+        plan = LRFU().plan(sc)
+        for t in range(1, 5):
+            np.testing.assert_allclose(plan.x[t], plan.x[0])
+        # Only the initial fills count as replacements.
+        result = evaluate_plan(sc, plan, policy_name="LRFU")
+        assert result.cost.replacements == 2
+
+    def test_plan_valid(self, small_scenario):
+        plan = LRFU().plan(small_scenario)
+        validate_plan(small_scenario, plan)
+
+
+class TestClassics:
+    def test_lfu_converges_to_cumulative_top(self):
+        rates = np.zeros((10, 1, 3))
+        rates[:, 0, 0] = 3.0  # persistent favourite
+        rates[:, 0, 1] = 2.0
+        rates[0, 0, 2] = 10.0  # one-slot burst
+        plan = LFU().plan(_scenario(rates, C=2))
+        # After enough slots the burst item is evicted by cumulative counts.
+        np.testing.assert_allclose(plan.x[9, 0], [1, 1, 0])
+
+    def test_lru_tracks_recency(self):
+        rates = np.zeros((3, 1, 3))
+        rates[0, 0, 0] = 1.0
+        rates[1, 0, 1] = 1.0
+        rates[2, 0, 2] = 1.0
+        plan = LRU().plan(_scenario(rates, C=2))
+        # After slot 2, items 1 and 2 are the two most recent.
+        np.testing.assert_allclose(plan.x[2, 0], [0, 1, 1])
+
+    def test_fifo_eviction_order(self):
+        rates = np.zeros((3, 1, 3))
+        rates[0, 0, 0] = 5.0
+        rates[1, 0, 1] = 1.0
+        rates[2, 0, 2] = 9.0  # strong newcomer evicts the oldest (item 0)
+        plan = FIFO().plan(_scenario(rates, C=2))
+        np.testing.assert_allclose(plan.x[2, 0], [0, 1, 1])
+
+    @pytest.mark.parametrize("policy_cls", [LFU, LRU, FIFO])
+    def test_plans_valid(self, policy_cls, small_scenario):
+        plan = policy_cls().plan(small_scenario)
+        validate_plan(small_scenario, plan)
+        assert set(np.unique(plan.x)) <= {0.0, 1.0}
+
+    @pytest.mark.parametrize("policy_cls", [LFU, LRU, FIFO])
+    def test_zero_capacity(self, policy_cls):
+        rates = np.ones((2, 1, 3))
+        plan = policy_cls().plan(_scenario(rates, C=0))
+        assert plan.x.sum() == 0.0
+
+
+class TestStatic:
+    def test_static_topk_single_fill(self, small_scenario):
+        plan = StaticTopK().plan(small_scenario)
+        validate_plan(small_scenario, plan)
+        result = evaluate_plan(small_scenario, plan, policy_name="StaticTopK")
+        assert result.cost.replacements == int(plan.x[0].sum())
+        for t in range(1, small_scenario.horizon):
+            np.testing.assert_allclose(plan.x[t], plan.x[0])
+
+    def test_nocache_empty(self, small_scenario):
+        plan = NoCache().plan(small_scenario)
+        assert plan.x.sum() == 0.0
+        result = evaluate_plan(small_scenario, plan, policy_name="NoCache")
+        assert result.cost.replacement == 0.0
+        assert result.cost.sbs_cost == 0.0
+
+    def test_static_beats_nocache(self, small_scenario):
+        static = evaluate_plan(
+            small_scenario, StaticTopK().plan(small_scenario)
+        ).cost.total
+        nothing = evaluate_plan(
+            small_scenario, NoCache().plan(small_scenario)
+        ).cost.total
+        assert static < nothing
+
+    def test_names(self):
+        assert LRFU().name == "LRFU"
+        assert LFU().name == "LFU"
+        assert LRU().name == "LRU"
+        assert FIFO().name == "FIFO"
+        assert StaticTopK().name == "StaticTopK"
+        assert NoCache().name == "NoCache"

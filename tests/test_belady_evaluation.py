@@ -1,0 +1,105 @@
+"""Tests for the Belady-style baseline and the forecast evaluation module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BeladyVolume
+from repro.exceptions import ConfigurationError
+from repro.scenario import Scenario, validate_plan
+from repro.sim.engine import evaluate_plan
+from repro.network.topology import single_cell_network
+from repro.workload.demand import DemandMatrix, paper_demand
+from repro.workload.evaluation import ForecastProfile, profile_predictor
+from repro.workload.predictor import PerfectPredictor, PerturbedPredictor
+
+
+class TestBeladyVolume:
+    def test_prefetches_before_surge(self):
+        """Belady caches the future-heavy item before demand arrives."""
+        net = single_cell_network(
+            num_items=3, cache_size=1, bandwidth=10.0, replacement_cost=1.0,
+            omega_bs=[1.0],
+        )
+        rates = np.zeros((4, 1, 3))
+        rates[:2, 0, 0] = 1.0  # item 0 modest early demand
+        rates[1:, 0, 2] = 5.0  # item 2 dominates from slot 1 on
+        sc = Scenario(network=net, demand=DemandMatrix(rates))
+        plan = BeladyVolume(discount=0.9).plan(sc)
+        assert plan.x[1, 0, 2] == 1.0
+        assert plan.x[3, 0, 2] == 1.0
+
+    def test_lookahead_limits_vision(self):
+        net = single_cell_network(
+            num_items=2, cache_size=1, bandwidth=10.0, replacement_cost=1.0,
+            omega_bs=[1.0],
+        )
+        rates = np.zeros((5, 1, 2))
+        rates[:, 0, 0] = 1.0
+        rates[4, 0, 1] = 100.0  # only visible with enough lookahead
+        sc = Scenario(network=net, demand=DemandMatrix(rates))
+        myopic = BeladyVolume(discount=1.0, lookahead=2).plan(sc)
+        assert myopic.x[0, 0, 0] == 1.0  # cannot see slot 4 yet
+        clairvoyant = BeladyVolume(discount=1.0).plan(sc)
+        assert clairvoyant.x[0, 0, 1] == 1.0  # total future volume wins
+
+    def test_plan_valid(self, small_scenario):
+        plan = BeladyVolume().plan(small_scenario)
+        validate_plan(small_scenario, plan)
+
+    def test_loses_to_offline_optimum(self, small_scenario):
+        """Hit-volume-optimal is not cost-optimal under weighted costs."""
+        from repro.core.offline import OfflineOptimal
+
+        belady = evaluate_plan(
+            small_scenario, BeladyVolume().plan(small_scenario)
+        ).cost.total
+        offline = evaluate_plan(
+            small_scenario, OfflineOptimal(max_iter=100).plan(small_scenario)
+        ).cost.total
+        assert offline <= belady + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BeladyVolume(discount=0.0)
+        with pytest.raises(ConfigurationError):
+            BeladyVolume(discount=1.5)
+        with pytest.raises(ConfigurationError):
+            BeladyVolume(lookahead=0)
+
+
+class TestForecastProfile:
+    def test_perfect_predictor_zero_error(self, rng):
+        demand = paper_demand(10, 2, 3, rng=rng, density_range=(1.0, 2.0))
+        profile = profile_predictor(
+            PerfectPredictor(demand), demand, window=4
+        )
+        np.testing.assert_allclose(profile.mape, 0.0, atol=1e-12)
+        np.testing.assert_allclose(profile.bias, 0.0, atol=1e-12)
+        assert not profile.is_degrading()
+
+    def test_frozen_noise_flat_profile(self, rng):
+        demand = paper_demand(30, 3, 4, rng=rng, density_range=(1.0, 2.0))
+        predictor = PerturbedPredictor(demand, eta=0.3, mode="frozen", seed=1)
+        profile = profile_predictor(predictor, demand, window=6)
+        # All lookaheads share the same frozen factors: flat MAPE ~ eta/2.
+        assert profile.mape.max() - profile.mape.min() < 0.05
+        assert profile.mape.mean() == pytest.approx(0.15, abs=0.05)
+        assert not profile.is_degrading()
+
+    def test_degrading_noise_rises_with_lookahead(self, rng):
+        demand = paper_demand(40, 3, 4, rng=rng, density_range=(1.0, 2.0))
+        predictor = PerturbedPredictor(demand, eta=0.2, mode="degrading", seed=1)
+        profile = profile_predictor(predictor, demand, window=9)
+        assert profile.is_degrading()
+        assert profile.mape[-1] > profile.mape[0]
+
+    def test_window_validation(self, rng):
+        demand = paper_demand(5, 2, 2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            profile_predictor(PerfectPredictor(demand), demand, window=0)
+
+    def test_profile_window_property(self):
+        profile = ForecastProfile(mape=np.zeros(5), bias=np.zeros(5))
+        assert profile.window == 5

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface (tiny scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--horizon", "6", "--window", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "headline comparison" in out
+        assert "Offline" in out
+
+    def test_fig3_small(self, capsys):
+        code = main(
+            ["fig3", "--windows", "2", "3", "--horizon", "5", "--seeds", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total operating cost vs window" in out
+        assert "# cache replacements vs window" in out
+
+    def test_fig5_small(self, capsys):
+        code = main(
+            ["fig5", "--etas", "0", "0.4", "--horizon", "5", "--window", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total operating cost vs eta" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_headline(self, capsys):
+        code = main(
+            ["headline", "--beta", "10", "--horizon", "5", "--window", "2"]
+        )
+        assert code == 0
+        assert "vs Offline" in capsys.readouterr().out

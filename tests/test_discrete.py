@@ -1,0 +1,148 @@
+"""Tests for the discrete request-level replay simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.topology import single_cell_network
+from repro.sim.discrete import _largest_remainder_round, replay_trace
+from repro.workload.trace import RequestTrace
+
+
+def _net(M=2, K=3, B=10.0, C=2, omega=None):
+    return single_cell_network(
+        num_items=K,
+        cache_size=C,
+        bandwidth=B,
+        replacement_cost=2.0,
+        omega_bs=omega or [0.5] * M,
+    )
+
+
+def _trace(counts) -> RequestTrace:
+    return RequestTrace(np.asarray(counts, dtype=np.int64))
+
+
+class TestRounding:
+    def test_preserves_total(self):
+        targets = np.array([[0.5, 0.5], [1.2, 0.8]])
+        rounded = _largest_remainder_round(targets)
+        assert rounded.sum() == round(targets.sum())
+
+    def test_integers_untouched(self):
+        targets = np.array([[2.0, 3.0]])
+        np.testing.assert_array_equal(_largest_remainder_round(targets), [[2, 3]])
+
+
+class TestReplay:
+    def test_uncached_requests_go_to_bs(self):
+        net = _net()
+        trace = _trace(np.full((2, 2, 3), 2))
+        x = np.zeros((2, 1, 3))
+        y = np.ones((2, 2, 3))
+        report = replay_trace(net, trace, x, y)
+        assert report.served_sbs.sum() == 0
+        assert report.served_bs.sum() == report.total_requests
+        assert report.hit_ratio == 0.0
+
+    def test_full_service_when_cached_and_ample(self):
+        net = _net(B=100.0, C=3)
+        trace = _trace(np.full((2, 2, 3), 2))
+        x = np.ones((2, 1, 3))
+        y = np.ones((2, 2, 3))
+        report = replay_trace(net, trace, x, y)
+        assert report.offload_ratio == pytest.approx(1.0)
+        assert report.hit_ratio == pytest.approx(1.0)
+        assert report.served_bs.sum() == 0
+
+    def test_bandwidth_budget_enforced(self):
+        net = _net(B=3.0, C=3)
+        trace = _trace(np.full((1, 2, 3), 5))  # 30 requests, budget 3
+        x = np.ones((1, 1, 3))
+        y = np.ones((1, 2, 3))
+        report = replay_trace(net, trace, x, y)
+        assert report.served_sbs.sum() == 3
+        assert report.served_bs.sum() == 27
+
+    def test_spill_prefers_keeping_high_omega(self):
+        net = _net(M=2, B=4.0, C=3, omega=[0.1, 0.9])
+        counts = np.zeros((1, 2, 3), dtype=np.int64)
+        counts[0, 0, 0] = 4  # low-omega class
+        counts[0, 1, 1] = 4  # high-omega class
+        trace = _trace(counts)
+        x = np.ones((1, 1, 3))
+        y = np.ones((1, 2, 3))
+        report = replay_trace(net, trace, x, y)
+        # Budget 4: the high-omega class keeps its SBS service.
+        assert report.served_sbs[0, 1, 1] == 4
+        assert report.served_sbs[0, 0, 0] == 0
+
+    def test_matches_fluid_cost_on_integral_instance(self):
+        """When the trace equals the rates and y is integral & feasible, the
+        replay cost equals the fluid cost exactly."""
+        from repro.network.costs import total_cost
+
+        net = _net(B=100.0, C=3)
+        counts = np.full((2, 2, 3), 3, dtype=np.int64)
+        trace = _trace(counts)
+        x = np.ones((2, 1, 3))
+        y = np.ones((2, 2, 3))
+        report = replay_trace(net, trace, x, y)
+        fluid = total_cost(net, counts.astype(float), x, y)
+        assert report.cost.total == pytest.approx(fluid.total)
+        assert report.cost.replacements == fluid.replacements
+
+    def test_fractional_y_routes_expected_counts(self):
+        net = _net(B=100.0, C=3)
+        counts = np.zeros((1, 2, 3), dtype=np.int64)
+        counts[0, 0, 0] = 10
+        trace = _trace(counts)
+        x = np.ones((1, 1, 3))
+        y = np.zeros((1, 2, 3))
+        y[0, 0, 0] = 0.3
+        report = replay_trace(net, trace, x, y)
+        assert report.served_sbs[0, 0, 0] == 3
+
+    def test_stochastic_mode(self):
+        net = _net(B=1000.0, C=3)
+        counts = np.full((1, 2, 3), 100, dtype=np.int64)
+        trace = _trace(counts)
+        x = np.ones((1, 1, 3))
+        y = np.full((1, 2, 3), 0.5)
+        rng = np.random.default_rng(0)
+        report = replay_trace(net, trace, x, y, stochastic=True, rng=rng)
+        assert 200 < report.served_sbs.sum() < 400  # ~300 expected
+
+    def test_stochastic_requires_rng(self):
+        net = _net()
+        trace = _trace(np.ones((1, 2, 3), dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            replay_trace(
+                net, trace, np.ones((1, 1, 3)), np.ones((1, 2, 3)), stochastic=True
+            )
+
+    def test_shape_validation(self):
+        net = _net()
+        trace = _trace(np.ones((1, 2, 3), dtype=np.int64))
+        with pytest.raises(DimensionMismatchError):
+            replay_trace(net, trace, np.ones((2, 1, 3)), np.ones((1, 2, 3)))
+
+    def test_replay_tracks_fluid_shape(self, rng):
+        """On a realistic plan, discrete totals land near the fluid ones."""
+        from repro.core.load_balancing import solve_y_given_x
+        from repro.core.problem import JointProblem
+        from repro.workload.demand import paper_demand
+        from repro.workload.trace import sample_poisson_trace
+
+        net = _net(M=4, K=6, B=20.0, C=3, omega=list(rng.uniform(0.2, 1, 4)))
+        demand = paper_demand(6, 4, 6, rng=rng, density_range=(2.0, 8.0))
+        prob = JointProblem(net, demand.rates)
+        x = np.zeros((6, 1, 6))
+        x[:, 0, :3] = 1.0
+        y = solve_y_given_x(prob, x).y
+        fluid = prob.cost(x, y).total
+        trace = sample_poisson_trace(demand, rng=rng)
+        report = replay_trace(net, trace, x, y)
+        assert report.cost.total == pytest.approx(fluid, rel=0.35)

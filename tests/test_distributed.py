@@ -1,0 +1,104 @@
+"""Tests for the distributed (per-SBS) solver: separability made executable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    DistributedOfflineOptimal,
+    solve_distributed,
+    split_by_sbs,
+)
+from repro.core.primal_dual import solve_primal_dual
+from repro.core.problem import JointProblem
+from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.scenario import Scenario, validate_plan
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import DemandMatrix, paper_demand
+
+
+@pytest.fixture
+def two_cell_problem(rng) -> JointProblem:
+    net = Network(
+        ContentCatalog(6),
+        (
+            SmallBaseStation(0, 2, 4.0, 3.0),
+            SmallBaseStation(1, 3, 6.0, 8.0),
+        ),
+        (
+            MUClass(0, 0, 0.8),
+            MUClass(1, 0, 0.3),
+            MUClass(2, 1, 0.9),
+            MUClass(3, 1, 0.5),
+            MUClass(4, 1, 0.2),
+        ),
+    )
+    demand = paper_demand(5, 5, 6, rng=rng, density_range=(0.0, 3.0))
+    return JointProblem(net, demand.rates)
+
+
+class TestSplit:
+    def test_partition_classes(self, two_cell_problem):
+        parts = split_by_sbs(two_cell_problem)
+        assert len(parts) == 2
+        sub0, classes0 = parts[0]
+        sub1, classes1 = parts[1]
+        assert classes0.tolist() == [0, 1]
+        assert classes1.tolist() == [2, 3, 4]
+        assert sub0.network.num_classes == 2
+        assert sub1.network.num_classes == 3
+        # Demand slices line up.
+        np.testing.assert_allclose(
+            sub1.demand, two_cell_problem.demand[:, [2, 3, 4], :]
+        )
+
+    def test_parameters_carried_over(self, two_cell_problem):
+        parts = split_by_sbs(two_cell_problem)
+        sub1, _ = parts[1]
+        assert sub1.network.cache_sizes.tolist() == [3]
+        assert sub1.network.bandwidths.tolist() == [6.0]
+        assert sub1.network.replacement_costs.tolist() == [8.0]
+        np.testing.assert_allclose(sub1.network.omega_bs, [0.9, 0.5, 0.2])
+
+
+class TestSolveDistributed:
+    def test_matches_joint_solve(self, two_cell_problem):
+        joint = solve_primal_dual(
+            two_cell_problem, max_iter=250, gap_tol=1e-5
+        )
+        dist = solve_distributed(
+            two_cell_problem, max_iter=250, gap_tol=1e-5, ub_patience=None
+        )
+        # Separability: same optimal value (to solver tolerance).
+        assert dist.cost.total == pytest.approx(joint.cost.total, rel=2e-3)
+        assert dist.lower_bound <= dist.cost.total + 1e-9
+
+    def test_solution_feasible_for_joint_problem(self, two_cell_problem):
+        dist = solve_distributed(two_cell_problem, max_iter=100)
+        two_cell_problem.check_feasible(dist.x, dist.y)
+
+    def test_cost_is_sum_of_locals(self, two_cell_problem):
+        dist = solve_distributed(two_cell_problem, max_iter=60)
+        local_total = sum(r.cost.total for r in dist.per_sbs)
+        assert dist.cost.total == pytest.approx(local_total)
+
+    def test_single_sbs_identical_to_joint(self, small_scenario):
+        prob = small_scenario.problem()
+        joint = solve_primal_dual(prob, max_iter=120, gap_tol=1e-4)
+        dist = solve_distributed(prob, max_iter=120, gap_tol=1e-4)
+        assert dist.cost.total == pytest.approx(joint.cost.total, rel=1e-3)
+
+
+class TestPolicy:
+    def test_plan_validates(self, two_cell_problem, rng):
+        scenario = Scenario(
+            network=two_cell_problem.network,
+            demand=DemandMatrix(two_cell_problem.demand),
+        )
+        policy = DistributedOfflineOptimal(max_iter=60)
+        plan = policy.plan(scenario)
+        validate_plan(scenario, plan)
+        assert plan.solves == 2
+        result = evaluate_plan(scenario, plan, policy_name=policy.name)
+        assert result.cost.total > 0

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and shared type helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    InfeasibleProblemError,
+    ReproError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.types import as_float_array, is_binary
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            InfeasibleProblemError,
+            UnboundedProblemError,
+            SolverError,
+            DimensionMismatchError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_dimension_mismatch_is_configuration_error(self):
+        assert issubclass(DimensionMismatchError, ConfigurationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SolverError("boom")
+
+
+class TestAsFloatArray:
+    def test_converts_lists(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="demand"):
+            as_float_array([1.0, float("nan")], name="demand")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            as_float_array([float("inf")])
+
+
+class TestIsBinary:
+    def test_binary_matrices(self):
+        assert is_binary(np.array([0.0, 1.0, 1.0]))
+        assert is_binary(np.array([1e-9, 1 - 1e-9]))
+
+    def test_fractional_rejected(self):
+        assert not is_binary(np.array([0.5]))
+        assert not is_binary(np.array([0.0, 0.1]))
+
+    def test_custom_tolerance(self):
+        assert is_binary(np.array([0.05]), atol=0.1)
+        assert not is_binary(np.array([0.05]), atol=0.01)

@@ -1,0 +1,156 @@
+"""Tests for the experiment sweeps and report rendering (small scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online.base import OnlineSolveSettings
+from repro.exceptions import ConfigurationError
+from repro.sim.experiment import (
+    SweepPoint,
+    SweepResult,
+    beta_sweep,
+    default_policies,
+    headline_comparison,
+    noise_sweep,
+    paper_scenario,
+    window_sweep,
+)
+from repro.sim.report import render_headline_table, render_sweep_table
+
+#: Tiny scale so a sweep completes in seconds.
+TINY = dict(
+    horizon=6,
+    num_items=6,
+    num_classes=4,
+    cache_size=2,
+    bandwidth=3.0,
+)
+
+
+class TestPaperScenario:
+    def test_defaults_match_section_vb(self):
+        sc = paper_scenario(seed=3)
+        assert sc.horizon == 100
+        assert sc.network.num_items == 30
+        assert sc.network.num_classes == 30
+        assert sc.network.cache_sizes.tolist() == [5]
+        assert sc.network.bandwidths.tolist() == [30.0]
+        assert sc.network.replacement_costs.tolist() == [100.0]
+        assert np.all(sc.network.omega_bs >= 0) and np.all(sc.network.omega_bs <= 1)
+        assert np.all(sc.network.omega_sbs == 0)
+
+    def test_seed_reproducible(self):
+        a = paper_scenario(seed=9, horizon=5)
+        b = paper_scenario(seed=9, horizon=5)
+        np.testing.assert_allclose(a.demand.rates, b.demand.rates)
+        np.testing.assert_allclose(a.network.omega_bs, b.network.omega_bs)
+
+    def test_literal_density_range_available(self):
+        sc = paper_scenario(seed=1, horizon=4, density_range=(0.0, 100.0))
+        assert sc.demand.rates.max() > 4.0
+
+
+class TestDefaultPolicies:
+    def test_paper_comparison_set(self):
+        policies = default_policies(window=10)
+        names = [p.name for p in policies]
+        assert names == [
+            "Offline",
+            "RHC(w=10)",
+            "CHC(w=10,r=5)",
+            "AFHC(w=10)",
+            "LRFU",
+        ]
+
+    def test_exclusions(self):
+        names = [
+            p.name
+            for p in default_policies(window=4, include_offline=False, include_lrfu=False)
+        ]
+        assert names == ["RHC(w=4)", "CHC(w=4,r=2)", "AFHC(w=4)"]
+
+    def test_custom_commitment(self):
+        names = [p.name for p in default_policies(window=6, commitment=3)]
+        assert "CHC(w=6,r=3)" in names
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def tiny_beta_sweep(self):
+        return beta_sweep(
+            (0.0, 5.0),
+            seeds=(1,),
+            window=3,
+            **TINY,
+        )
+
+    def test_beta_sweep_structure(self, tiny_beta_sweep):
+        assert tiny_beta_sweep.parameter == "beta"
+        assert tiny_beta_sweep.values == [0.0, 5.0]
+        assert "Offline" in tiny_beta_sweep.policies
+        assert "LRFU" in tiny_beta_sweep.policies
+
+    def test_offline_lower_bounds_everyone(self, tiny_beta_sweep):
+        totals = tiny_beta_sweep.table("total")
+        for name, series in totals.items():
+            for off, val in zip(totals["Offline"], series):
+                assert val >= off - max(1e-6, 0.01 * off)
+
+    def test_replacement_cost_zero_at_beta_zero(self, tiny_beta_sweep):
+        repl = tiny_beta_sweep.table("replacement")
+        for series in repl.values():
+            assert series[0] == pytest.approx(0.0)
+
+    def test_unknown_metric_rejected(self, tiny_beta_sweep):
+        with pytest.raises(ConfigurationError):
+            tiny_beta_sweep.series("latency", "Offline")
+
+    def test_window_sweep_caches_invariants(self):
+        sweep = window_sweep((2, 3), seeds=(1,), **TINY)
+        offline = sweep.table("total")["Offline"]
+        assert offline[0] == pytest.approx(offline[1])
+        lrfu = sweep.table("total")["LRFU"]
+        assert lrfu[0] == pytest.approx(lrfu[1])
+
+    def test_noise_sweep_offline_flat(self):
+        sweep = noise_sweep((0.0, 0.5), seeds=(1,), window=3, **TINY)
+        offline = sweep.table("total")["Offline"]
+        assert offline[0] == pytest.approx(offline[1])
+
+    def test_headline_single_point(self):
+        sweep = headline_comparison(beta=5.0, seeds=(1,), window=3, **TINY)
+        assert len(sweep.points) == 1
+
+
+class TestReport:
+    def _fake_sweep(self) -> SweepResult:
+        metrics = {
+            "Offline": {"total": 10.0, "bs_cost": 8.0, "sbs_cost": 0.0,
+                        "replacement": 2.0, "replacements": 2.0, "solves": 5.0},
+            "LRFU": {"total": 13.0, "bs_cost": 9.0, "sbs_cost": 0.0,
+                     "replacement": 4.0, "replacements": 4.0, "solves": 0.0},
+        }
+        return SweepResult(
+            parameter="beta",
+            points=(SweepPoint(value=50.0, metrics=metrics),),
+        )
+
+    def test_render_sweep_table(self):
+        text = render_sweep_table(self._fake_sweep(), "total")
+        assert "total operating cost vs beta" in text
+        assert "Offline" in text and "LRFU" in text
+        assert "13.0" in text
+
+    def test_render_headline(self):
+        text = render_headline_table(self._fake_sweep())
+        assert "headline comparison" in text
+        assert "LRFU" in text
+        # Offline saves (1 - 10/13) ~ 23.1% vs LRFU.
+        assert "23.1%" in text
+
+    def test_headline_requires_single_point(self):
+        sweep = SweepResult(parameter="beta", points=())
+        with pytest.raises(ValueError):
+            render_headline_table(sweep)

@@ -1,0 +1,101 @@
+"""Tests for the FISTA solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.optim.fista import minimize_fista
+from repro.optim.projection import project_box, project_halfspace_box
+
+
+def _quadratic(Q, q):
+    def f(x):
+        return 0.5 * float(x @ Q @ x) + float(q @ x)
+
+    def g(x):
+        return Q @ x + q
+
+    return f, g
+
+
+class TestFista:
+    def test_unconstrained_quadratic(self):
+        Q = np.diag([1.0, 4.0])
+        q = np.array([-1.0, -8.0])
+        f, g = _quadratic(Q, q)
+        res = minimize_fista(f, g, lambda v: v, np.zeros(2), tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.x, [1.0, 2.0], atol=1e-5)
+
+    def test_box_constrained(self):
+        Q = np.eye(2)
+        q = np.array([-5.0, -5.0])
+        f, g = _quadratic(Q, q)
+        res = minimize_fista(
+            f, g, lambda v: project_box(v, 0.0, 1.0), np.zeros(2)
+        )
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-6)
+
+    def test_known_lipschitz_accepted(self):
+        Q = 10.0 * np.eye(3)
+        f, g = _quadratic(Q, -np.ones(3))
+        res = minimize_fista(
+            f, g, lambda v: project_box(v, 0.0, 1.0), np.zeros(3), lipschitz=10.0
+        )
+        np.testing.assert_allclose(res.x, 0.1, atol=1e-6)
+
+    def test_nonfinite_start_raises(self):
+        def f(x):
+            return float("nan")
+
+        with pytest.raises(SolverError):
+            minimize_fista(f, lambda x: x, lambda v: v, np.zeros(1))
+
+    def test_max_iter_reported(self):
+        Q = np.eye(2)
+        f, g = _quadratic(Q, np.zeros(2))
+        res = minimize_fista(
+            f, g, lambda v: v, np.ones(2) * 100, max_iter=1, tol=1e-16
+        )
+        assert not res.converged
+        assert res.iterations == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_fista_matches_slsqp_on_random_qps(seed: int):
+    """Property: FISTA solves random box+halfspace QPs to SLSQP accuracy."""
+    import scipy.optimize
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    R = rng.normal(size=(n, n))
+    Q = R @ R.T + 0.5 * np.eye(n)
+    q = rng.normal(size=n)
+    a = rng.uniform(0.1, 1.0, n)
+    budget = float(rng.uniform(0.3, 2.0))
+
+    def f(x):
+        return 0.5 * float(x @ Q @ x) + float(q @ x)
+
+    def g(x):
+        return Q @ x + q
+
+    res = minimize_fista(
+        f, g, lambda v: project_halfspace_box(v, a, budget), np.zeros(n), tol=1e-10
+    )
+    ref = scipy.optimize.minimize(
+        f,
+        np.zeros(n),
+        jac=g,
+        bounds=[(0, 1)] * n,
+        constraints=[{"type": "ineq", "fun": lambda y: budget - a @ y}],
+        method="SLSQP",
+    )
+    assert res.objective <= ref.fun + 1e-5 * (1 + abs(ref.fun))
+    # Feasibility.
+    assert np.all(res.x >= -1e-9) and np.all(res.x <= 1 + 1e-9)
+    assert a @ res.x <= budget + 1e-7

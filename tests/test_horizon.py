@@ -1,0 +1,56 @@
+"""Tests for window/commitment bookkeeping (Section IV index arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.horizon import HorizonSpec, committed_slots, fhc_solve_times
+from repro.exceptions import ConfigurationError
+
+
+class TestHorizonSpec:
+    def test_valid(self):
+        spec = HorizonSpec(window=10, commitment=5)
+        assert spec.window == 10
+
+    @pytest.mark.parametrize("w,r", [(0, 1), (5, 0), (5, 6), (-1, 1)])
+    def test_invalid(self, w, r):
+        with pytest.raises(ConfigurationError):
+            HorizonSpec(window=w, commitment=r)
+
+
+class TestFhcSolveTimes:
+    def test_variant_zero_starts_at_zero(self):
+        assert fhc_solve_times(0, 3, 10) == [0, 3, 6, 9]
+
+    def test_nonzero_variant_anchors_before_zero(self):
+        # Variant 1, r=3: solves at -2, 1, 4, 7 (all congruent to 1 mod 3).
+        times = fhc_solve_times(1, 3, 9)
+        assert times == [-2, 1, 4, 7]
+        assert all(t % 3 == 1 for t in times)
+
+    def test_every_slot_covered_exactly_once_per_variant(self):
+        horizon, r = 17, 4
+        for v in range(r):
+            covered = []
+            for tau in fhc_solve_times(v, r, horizon):
+                covered.extend(committed_slots(tau, r, horizon))
+            assert covered == list(range(horizon))
+
+    def test_commitment_one_is_every_slot(self):
+        assert fhc_solve_times(0, 1, 4) == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fhc_solve_times(3, 3, 10)
+        with pytest.raises(ConfigurationError):
+            fhc_solve_times(-1, 3, 10)
+        with pytest.raises(ConfigurationError):
+            fhc_solve_times(0, 3, 0)
+
+
+class TestCommittedSlots:
+    def test_clamps_to_horizon(self):
+        assert list(committed_slots(-2, 3, 10)) == [0]
+        assert list(committed_slots(8, 5, 10)) == [8, 9]
+        assert list(committed_slots(2, 3, 10)) == [2, 3, 4]

@@ -1,0 +1,194 @@
+"""End-to-end integration tests crossing module boundaries.
+
+Each test exercises a full pipeline — scenario construction, policy
+planning, realized-cost evaluation, metrics — on instances small enough to
+finish quickly but large enough to be non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AFHC,
+    CHC,
+    LRFU,
+    RHC,
+    BeladyVolume,
+    NoCache,
+    OfflineOptimal,
+    OnlineSolveSettings,
+    Scenario,
+    StaticTopK,
+    paper_scenario,
+    run_policies,
+)
+from repro.core.distributed import DistributedOfflineOptimal
+from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.sim.discrete import replay_trace
+from repro.sim.metrics import compute_edge_metrics
+from repro.sim.runner import cost_ratios
+from repro.workload.demand import (
+    DemandMatrix,
+    flash_crowd_demand,
+    shifting_popularity_demand,
+)
+from repro.workload.predictor import PerturbedPredictor
+from repro.workload.trace import sample_poisson_trace
+
+FAST = OnlineSolveSettings(max_iter=20, gap_tol=5e-3, ub_patience=5)
+
+
+@pytest.fixture(scope="module")
+def mini_paper():
+    """A scaled-down paper scenario shared by the expensive tests."""
+    return paper_scenario(
+        seed=5,
+        horizon=12,
+        num_items=10,
+        num_classes=8,
+        cache_size=3,
+        bandwidth=8.0,
+        beta=20.0,
+    )
+
+
+class TestFullComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = paper_scenario(
+            seed=2,
+            horizon=12,
+            num_items=10,
+            num_classes=8,
+            cache_size=3,
+            bandwidth=8.0,
+            beta=20.0,
+        )
+        policies = [
+            OfflineOptimal(max_iter=80),
+            RHC(window=4, settings=FAST),
+            CHC(window=4, commitment=2, settings=FAST),
+            AFHC(window=4, settings=FAST),
+            LRFU(),
+            StaticTopK(),
+            BeladyVolume(),
+            NoCache(),
+        ]
+        return run_policies(scenario, policies)
+
+    def test_offline_is_best(self, results):
+        offline = results["Offline"].cost.total
+        for name, r in results.items():
+            assert r.cost.total >= offline - 0.01 * offline, name
+
+    def test_optimizing_policies_beat_nocache(self, results):
+        """Offline and the cost-aware policies beat caching nothing.
+
+        Myopic baselines (LRFU, Belady) may legitimately lose to NoCache
+        when their churn outweighs the offloading benefit, so they are
+        deliberately excluded here.
+        """
+        nocache = results["NoCache"].cost.total
+        for name in ("Offline", "StaticTopK", "RHC(w=4)", "CHC(w=4,r=2)"):
+            assert results[name].cost.total <= nocache + 1e-9, name
+
+    def test_everyone_feasible(self, results):
+        for name, r in results.items():
+            assert set(np.unique(r.x)) <= {0.0, 1.0}, name
+            assert np.all(r.y >= -1e-9) and np.all(r.y <= 1 + 1e-9), name
+
+    def test_ratios_well_formed(self, results):
+        ratios = cost_ratios(results)
+        assert ratios["Offline"] == pytest.approx(1.0)
+        assert all(v >= 0.99 for v in ratios.values())
+
+
+class TestMultiCellPipeline:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        rng = np.random.default_rng(17)
+        net = Network(
+            ContentCatalog(8),
+            (
+                SmallBaseStation(0, 3, 6.0, 5.0),
+                SmallBaseStation(1, 2, 4.0, 15.0),
+            ),
+            tuple(
+                MUClass(i, i % 2, float(rng.uniform(0.2, 1.0)))
+                for i in range(6)
+            ),
+        )
+        demand = shifting_popularity_demand(
+            10, 6, 8, rng=rng, shift_every=5, density_range=(0.5, 3.0)
+        )
+        predictor = PerturbedPredictor(demand, eta=0.1, seed=3)
+        return Scenario(network=net, demand=demand, predictor=predictor)
+
+    def test_online_on_multi_cell(self, scenario):
+        results = run_policies(
+            scenario, [RHC(window=3, settings=FAST), LRFU()]
+        )
+        assert results["RHC(w=3)"].cost.total > 0
+        scenario.problem().check_feasible(
+            results["RHC(w=3)"].x, results["RHC(w=3)"].y
+        )
+
+    def test_distributed_equals_joint_through_policies(self, scenario):
+        joint = run_policies(scenario, [OfflineOptimal(max_iter=120)])
+        dist = run_policies(scenario, [DistributedOfflineOptimal(max_iter=120)])
+        a = joint["Offline"].cost.total
+        b = dist["DistributedOffline"].cost.total
+        assert b == pytest.approx(a, rel=5e-3)
+
+    def test_metrics_pipeline(self, scenario):
+        result = run_policies(scenario, [LRFU()])["LRFU"]
+        metrics = compute_edge_metrics(
+            scenario.network, scenario.demand.rates, result.x, result.y
+        )
+        assert 0 <= metrics.hit_ratio <= 1
+        assert 0 <= metrics.offload_ratio <= metrics.hit_ratio + 1e-9
+        assert metrics.bandwidth_utilization.shape == (2,)
+
+
+class TestDiscreteConsistency:
+    def test_replay_of_planned_policy(self, mini_paper):
+        rng = np.random.default_rng(3)
+        result = run_policies(mini_paper, [StaticTopK()])["StaticTopK"]
+        trace = sample_poisson_trace(mini_paper.demand, rng=rng)
+        report = replay_trace(
+            mini_paper.network, trace, result.x, result.y
+        )
+        # Bandwidth budget respected every slot.
+        budget = int(np.floor(mini_paper.network.bandwidths[0]))
+        per_slot = report.served_sbs.sum(axis=(1, 2))
+        assert np.all(per_slot <= budget)
+        # Conservation: every request is served somewhere.
+        np.testing.assert_array_equal(
+            report.served_sbs + report.served_bs, trace.counts
+        )
+
+
+class TestFlashCrowdPipeline:
+    def test_rhc_reacts_to_surge(self):
+        rng = np.random.default_rng(23)
+        net_rng = np.random.default_rng(24)
+        from repro.network.topology import single_cell_network
+
+        net = single_cell_network(
+            num_items=8,
+            cache_size=2,
+            bandwidth=8.0,
+            replacement_cost=10.0,
+            omega_bs=net_rng.uniform(0.3, 1.0, 5),
+        )
+        demand = flash_crowd_demand(
+            15, 5, 8, rng=rng, crowd_item=3, start=6, duration=5,
+            magnitude=10.0, density_range=(0.2, 1.5),
+        )
+        scenario = Scenario(network=net, demand=demand)
+        plan = RHC(window=5, settings=FAST).plan(scenario)
+        # During the surge, the viral item is cached most of the time.
+        surge_cached = plan.x[6:11, 0, 3].mean()
+        assert surge_cached >= 0.6

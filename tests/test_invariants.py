@@ -1,0 +1,147 @@
+"""Cross-cutting property tests: invariants every component must respect.
+
+These tie modules together: any policy's realized run must satisfy the
+model constraints; costs must respond to parameters in the directions the
+model implies; solver outputs must be stable under re-runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import LRFU, HysteresisCache, StaticTopK
+from repro.core.load_balancing import solve_y_given_x
+from repro.core.primal_dual import solve_primal_dual
+from repro.core.problem import JointProblem
+from repro.network.topology import single_cell_network
+from repro.scenario import Scenario
+from repro.sim.engine import evaluate_plan
+from repro.workload.demand import DemandMatrix, paper_demand
+
+
+def _random_scenario(seed: int, **overrides) -> Scenario:
+    rng = np.random.default_rng(seed)
+    params = dict(
+        K=int(rng.integers(3, 8)),
+        M=int(rng.integers(2, 5)),
+        T=int(rng.integers(2, 6)),
+        C=int(rng.integers(1, 3)),
+        B=float(rng.uniform(1.0, 8.0)),
+        beta=float(rng.uniform(0.0, 10.0)),
+    )
+    params.update(overrides)
+    net = single_cell_network(
+        num_items=params["K"],
+        cache_size=min(params["C"], params["K"]),
+        bandwidth=params["B"],
+        replacement_cost=params["beta"],
+        omega_bs=rng.uniform(0.0, 1.0, params["M"]),
+    )
+    demand = paper_demand(
+        params["T"], params["M"], params["K"], rng=rng, density_range=(0.0, 4.0)
+    )
+    return Scenario(network=net, demand=demand)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_every_policy_run_is_model_feasible(seed: int):
+    """Realized (x, y) of every baseline satisfies constraints (1)-(4)."""
+    scenario = _random_scenario(seed)
+    problem = scenario.problem()
+    for policy in (LRFU(), StaticTopK(), HysteresisCache()):
+        result = evaluate_plan(scenario, policy.plan(scenario), policy_name=policy.name)
+        problem.check_feasible(result.x, result.y)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_offline_cost_monotone_in_beta(seed: int):
+    """The optimal cost is non-decreasing in the replacement cost beta."""
+    scenario = _random_scenario(seed, beta=1.0)
+    lo = solve_primal_dual(scenario.problem(), max_iter=80, gap_tol=1e-4)
+    hi_scenario = Scenario(
+        network=scenario.network.with_replacement_costs(5.0),
+        demand=scenario.demand,
+    )
+    hi = solve_primal_dual(hi_scenario.problem(), max_iter=80, gap_tol=1e-4)
+    # Feasible sets are identical; costs only go up with beta.
+    assert hi.upper_bound >= lo.lower_bound - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_offline_cost_monotone_in_bandwidth(seed: int):
+    """More SBS bandwidth never increases the optimal cost."""
+    scenario = _random_scenario(seed, B=2.0)
+    tight = solve_primal_dual(scenario.problem(), max_iter=80, gap_tol=1e-4)
+    wide_scenario = Scenario(
+        network=scenario.network.with_bandwidths(8.0),
+        demand=scenario.demand,
+    )
+    wide = solve_primal_dual(wide_scenario.problem(), max_iter=80, gap_tol=1e-4)
+    assert wide.upper_bound <= tight.upper_bound + 1e-6 * max(1, tight.upper_bound)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_offline_cost_monotone_in_cache_size(seed: int):
+    """A bigger cache never increases the optimal cost."""
+    scenario = _random_scenario(seed, C=1, K=6)
+    small = solve_primal_dual(scenario.problem(), max_iter=80, gap_tol=1e-4)
+    big_scenario = Scenario(
+        network=scenario.network.with_cache_sizes(4),
+        demand=scenario.demand,
+    )
+    big = solve_primal_dual(big_scenario.problem(), max_iter=80, gap_tol=1e-4)
+    assert big.upper_bound <= small.upper_bound + 1e-6 * max(1, small.upper_bound)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_oracle_deterministic(seed: int):
+    """The fixed-cache oracle is deterministic (same input, same output)."""
+    scenario = _random_scenario(seed)
+    problem = scenario.problem()
+    rng = np.random.default_rng(seed)
+    x = np.zeros(problem.x_shape)
+    for t in range(problem.horizon):
+        cap = int(problem.network.cache_sizes[0])
+        x[t, 0, rng.choice(problem.network.num_items, cap, replace=False)] = 1.0
+    a = solve_y_given_x(problem, x)
+    b = solve_y_given_x(problem, x)
+    np.testing.assert_array_equal(a.y, b.y)
+    assert a.objective == b.objective
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_scaling_demand_scales_operating_cost_quadratically(seed: int):
+    """With quadratic costs, doubling demand at fixed relative bandwidth
+    quadruples the optimal operating cost of the no-cache trajectory."""
+    scenario = _random_scenario(seed)
+    problem = scenario.problem()
+    x = np.zeros(problem.x_shape)
+    y = np.zeros(problem.y_shape)
+    base = problem.cost(x, y)
+    doubled = JointProblem(
+        network=scenario.network,
+        demand=2.0 * problem.demand,
+    )
+    big = doubled.cost(x, y)
+    assert big.operating == pytest.approx(4.0 * base.operating, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.5, 3.0))
+def test_zero_demand_costs_nothing(seed: int, scale: float):
+    """A slot with no demand contributes no operating cost."""
+    scenario = _random_scenario(seed)
+    net = scenario.network
+    demand = np.zeros((2, net.num_classes, net.num_items))
+    problem = JointProblem(net, demand)
+    x = np.zeros(problem.x_shape)
+    y = np.zeros(problem.y_shape)
+    assert problem.cost(x, y).total == 0.0

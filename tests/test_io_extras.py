@@ -1,0 +1,128 @@
+"""Tests for persistence, the hysteresis baseline, and the ASCII charts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LRFU, HysteresisCache
+from repro.exceptions import ConfigurationError
+from repro.io import load_run_result, load_scenario, save_run_result, save_scenario
+from repro.scenario import Scenario, validate_plan
+from repro.sim.ascii_chart import render_ascii_chart
+from repro.sim.engine import evaluate_plan
+from repro.sim.experiment import SweepPoint, SweepResult
+from repro.workload.predictor import PerturbedPredictor
+
+
+class TestScenarioRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_scenario, tmp_path):
+        path = tmp_path / "scenario.npz"
+        save_scenario(small_scenario, path)
+        loaded = load_scenario(path)
+        np.testing.assert_allclose(
+            loaded.demand.rates, small_scenario.demand.rates
+        )
+        np.testing.assert_allclose(
+            loaded.network.omega_bs, small_scenario.network.omega_bs
+        )
+        assert loaded.network.cache_sizes.tolist() == (
+            small_scenario.network.cache_sizes.tolist()
+        )
+        np.testing.assert_allclose(loaded.x_initial, small_scenario.x_initial)
+
+    def test_perturbed_predictor_roundtrip(self, small_scenario, tmp_path):
+        noisy = small_scenario.with_predictor(
+            PerturbedPredictor(small_scenario.demand, eta=0.3, seed=9, mode="frozen")
+        )
+        path = tmp_path / "scenario.npz"
+        save_scenario(noisy, path)
+        loaded = load_scenario(path)
+        # Same predictor settings -> identical forecasts.
+        np.testing.assert_allclose(
+            loaded.predictor.predict_window(0, 0, 4),
+            noisy.predictor.predict_window(0, 0, 4),
+        )
+
+    def test_custom_predictor_rejected(self, small_scenario, tmp_path):
+        class Weird:
+            def predict_window(self, a, b, c):
+                return np.zeros((c, 6, 8))
+
+        sc = small_scenario.with_predictor(Weird())
+        with pytest.raises(ConfigurationError):
+            save_scenario(sc, tmp_path / "x.npz")
+
+
+class TestRunResultRoundtrip:
+    def test_roundtrip(self, small_scenario, tmp_path):
+        result = evaluate_plan(
+            small_scenario, LRFU().plan(small_scenario), policy_name="LRFU"
+        )
+        path = tmp_path / "result.npz"
+        save_run_result(result, path)
+        loaded = load_run_result(path)
+        assert loaded.policy == "LRFU"
+        assert loaded.cost.total == pytest.approx(result.cost.total)
+        assert loaded.cost.replacements == result.cost.replacements
+        np.testing.assert_allclose(loaded.x, result.x)
+        np.testing.assert_allclose(loaded.y, result.y)
+        np.testing.assert_allclose(loaded.per_slot_total, result.per_slot_total)
+
+
+class TestHysteresis:
+    def test_plan_valid(self, small_scenario):
+        plan = HysteresisCache().plan(small_scenario)
+        validate_plan(small_scenario, plan)
+        assert set(np.unique(plan.x)) <= {0.0, 1.0}
+
+    def test_inertia_reduces_churn_vs_lrfu(self, small_scenario):
+        hyst = evaluate_plan(
+            small_scenario, HysteresisCache().plan(small_scenario)
+        )
+        lrfu = evaluate_plan(small_scenario, LRFU().plan(small_scenario))
+        assert hyst.cost.replacements <= lrfu.cost.replacements
+
+    def test_higher_hysteresis_never_more_churn(self, small_scenario):
+        low = evaluate_plan(
+            small_scenario, HysteresisCache(hysteresis=0.5).plan(small_scenario)
+        )
+        high = evaluate_plan(
+            small_scenario, HysteresisCache(hysteresis=5.0).plan(small_scenario)
+        )
+        assert high.cost.replacements <= low.cost.replacements
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HysteresisCache(hysteresis=0.0)
+
+    def test_name(self):
+        assert HysteresisCache().name == "Hysteresis"
+
+
+class TestAsciiChart:
+    def _sweep(self) -> SweepResult:
+        def point(v, a, b):
+            return SweepPoint(
+                value=v,
+                metrics={
+                    "Offline": {"total": a, "bs_cost": 0, "sbs_cost": 0,
+                                "replacement": 0, "replacements": 0, "solves": 0},
+                    "LRFU": {"total": b, "bs_cost": 0, "sbs_cost": 0,
+                             "replacement": 0, "replacements": 0, "solves": 0},
+                },
+            )
+        return SweepResult(
+            parameter="beta", points=(point(0, 10, 10), point(100, 12, 30))
+        )
+
+    def test_renders_markers_and_legend(self):
+        text = render_ascii_chart(self._sweep(), "total")
+        assert "total vs beta" in text
+        assert "o Offline" in text
+        assert "x LRFU" in text
+        assert "30.0" in text and "10.0" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_ascii_chart(self._sweep(), "total", width=5)

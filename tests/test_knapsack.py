@@ -1,0 +1,60 @@
+"""Tests for the fractional-knapsack primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.optim.knapsack import fractional_knapsack_offload
+
+
+class TestFractionalKnapsack:
+    def test_fills_best_first(self):
+        values = np.array([1.0, 3.0, 2.0])
+        caps = np.array([2.0, 2.0, 2.0])
+        z = fractional_knapsack_offload(values, caps, budget=3.0)
+        np.testing.assert_allclose(z, [0.0, 2.0, 1.0])
+
+    def test_skips_nonpositive_values(self):
+        values = np.array([0.0, -1.0, 2.0])
+        caps = np.array([5.0, 5.0, 1.0])
+        z = fractional_knapsack_offload(values, caps, budget=10.0)
+        np.testing.assert_allclose(z, [0.0, 0.0, 1.0])
+
+    def test_budget_zero(self):
+        z = fractional_knapsack_offload(np.array([1.0]), np.array([1.0]), 0.0)
+        np.testing.assert_allclose(z, [0.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fractional_knapsack_offload(np.ones(2), np.ones(3), 1.0)
+        with pytest.raises(ConfigurationError):
+            fractional_knapsack_offload(np.ones(2), -np.ones(2), 1.0)
+        with pytest.raises(ConfigurationError):
+            fractional_knapsack_offload(np.ones(2), np.ones(2), -1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), budget=st.floats(0.0, 10.0))
+def test_knapsack_matches_lp(seed: int, budget: float):
+    """Property: greedy fill equals the LP optimum of the same knapsack."""
+    import scipy.optimize
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 8))
+    values = rng.uniform(-1.0, 2.0, n)
+    caps = rng.uniform(0.0, 3.0, n)
+    z = fractional_knapsack_offload(values, caps, budget)
+    lp = scipy.optimize.linprog(
+        c=-values,
+        A_ub=np.ones((1, n)),
+        b_ub=[budget],
+        bounds=np.column_stack([np.zeros(n), caps]),
+        method="highs",
+    )
+    assert lp.success
+    assert values @ z == pytest.approx(-lp.fun, abs=1e-8)
+    assert z.sum() <= budget + 1e-9
+    assert np.all(z <= caps + 1e-12) and np.all(z >= 0)

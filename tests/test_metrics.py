@@ -1,0 +1,123 @@
+"""Tests for the extended edge metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.network.topology import single_cell_network
+from repro.sim.metrics import compute_edge_metrics, jain_index
+
+
+def _net(M=2, K=3, B=4.0, C=2):
+    return single_cell_network(
+        num_items=K,
+        cache_size=C,
+        bandwidth=B,
+        replacement_cost=1.0,
+        omega_bs=[0.5] * M,
+    )
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index(np.array([0.5, 0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_index(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index(np.array([])) == 1.0
+        assert jain_index(np.zeros(3)) == 1.0
+
+
+class TestEdgeMetrics:
+    def test_full_hit_full_offload(self):
+        net = _net(B=100.0, C=3)
+        demand = np.ones((2, 2, 3))
+        x = np.ones((2, 1, 3))
+        y = np.ones((2, 2, 3))
+        m = compute_edge_metrics(net, demand, x, y)
+        assert m.hit_ratio == pytest.approx(1.0)
+        assert m.offload_ratio == pytest.approx(1.0)
+        np.testing.assert_allclose(m.cache_occupancy, [1.0])
+        assert m.offload_fairness == pytest.approx(1.0)
+
+    def test_no_cache_no_hits(self):
+        net = _net()
+        demand = np.ones((2, 2, 3))
+        x = np.zeros((2, 1, 3))
+        y = np.zeros((2, 2, 3))
+        m = compute_edge_metrics(net, demand, x, y)
+        assert m.hit_ratio == 0.0
+        assert m.offload_ratio == 0.0
+        assert m.churn_per_slot == 0.0
+        np.testing.assert_allclose(m.bandwidth_utilization, [0.0])
+
+    def test_partial_hit_ratio(self):
+        net = _net()
+        demand = np.ones((1, 2, 3))  # 6 units total
+        x = np.zeros((1, 1, 3))
+        x[0, 0, 0] = 1.0  # one of three items cached -> 2 of 6 units
+        y = np.zeros((1, 2, 3))
+        m = compute_edge_metrics(net, demand, x, y)
+        assert m.hit_ratio == pytest.approx(2 / 6)
+
+    def test_bandwidth_utilization(self):
+        net = _net(B=4.0)
+        demand = np.full((1, 2, 3), 1.0)
+        x = np.ones((1, 1, 3))
+        y = np.full((1, 2, 3), 1 / 3)  # 2 units served of 4 budget
+        m = compute_edge_metrics(net, demand, x, y)
+        np.testing.assert_allclose(m.bandwidth_utilization, [0.5])
+
+    def test_churn_counts_insertions(self):
+        net = _net()
+        demand = np.ones((2, 2, 3))
+        x = np.zeros((2, 1, 3))
+        x[0, 0, 0] = 1.0
+        x[1, 0, 1] = 1.0  # evict 0, insert 1
+        y = np.zeros((2, 2, 3))
+        m = compute_edge_metrics(net, demand, x, y)
+        assert m.churn_per_slot == pytest.approx(1.0)
+
+    def test_initial_cache_respected(self):
+        net = _net()
+        demand = np.ones((1, 2, 3))
+        x = np.zeros((1, 1, 3))
+        x[0, 0, 0] = 1.0
+        y = np.zeros((1, 2, 3))
+        m = compute_edge_metrics(
+            net, demand, x, y, x_initial=np.array([[1.0, 0.0, 0.0]])
+        )
+        assert m.churn_per_slot == 0.0
+
+    def test_fairness_detects_skew(self):
+        net = _net(M=2)
+        demand = np.ones((1, 2, 3))
+        x = np.ones((1, 1, 3))
+        y = np.zeros((1, 2, 3))
+        y[0, 0] = 1.0  # class 0 fully served, class 1 ignored
+        m = compute_edge_metrics(net, demand, x, y)
+        assert m.offload_fairness == pytest.approx(0.5)
+
+    def test_shape_validation(self):
+        net = _net()
+        with pytest.raises(DimensionMismatchError):
+            compute_edge_metrics(
+                net, np.ones((1, 2, 3)), np.ones((2, 1, 3)), np.ones((1, 2, 3))
+            )
+        with pytest.raises(DimensionMismatchError):
+            compute_edge_metrics(
+                net, np.ones((1, 2, 3)), np.ones((1, 1, 3)), np.ones((1, 2, 2))
+            )
+
+    def test_summary_renders(self):
+        net = _net()
+        demand = np.ones((1, 2, 3))
+        m = compute_edge_metrics(
+            net, demand, np.zeros((1, 1, 3)), np.zeros((1, 2, 3))
+        )
+        text = m.summary()
+        assert "hit=" in text and "fairness=" in text

@@ -1,0 +1,140 @@
+"""Tests for the successive-shortest-path min-cost-flow solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.optim.mincostflow import MinCostFlow
+
+
+class TestMinCostFlowBasics:
+    def test_two_path_split(self):
+        g = MinCostFlow(4)
+        g.add_arc(0, 1, 2, 1.0)
+        g.add_arc(0, 2, 2, 2.0)
+        g.add_arc(1, 3, 2, 1.0)
+        g.add_arc(2, 3, 2, 0.5)
+        res = g.solve(0, 3, 3)
+        assert res.amount == 3
+        assert res.cost == pytest.approx(6.5)
+
+    def test_insufficient_capacity_partial_flow(self):
+        g = MinCostFlow(3)
+        g.add_arc(0, 1, 1, 1.0)
+        g.add_arc(1, 2, 1, 1.0)
+        res = g.solve(0, 2, 5)
+        assert res.amount == 1
+
+    def test_negative_costs_dag(self):
+        g = MinCostFlow(4)
+        g.add_arc(0, 1, 2, 0.0)
+        first = g.add_arc(1, 2, 1, -5.0)
+        second = g.add_arc(1, 2, 1, 1.0)
+        g.add_arc(2, 3, 2, 0.0)
+        res = g.solve(0, 3, 2, dag=True)
+        assert res.amount == 2
+        assert res.cost == pytest.approx(-4.0)
+        assert res.arc_flow[first] == 1.0
+        assert res.arc_flow[second] == 1.0
+
+    def test_negative_costs_bellman_ford(self):
+        g = MinCostFlow(4)
+        g.add_arc(0, 1, 1, -2.0)
+        g.add_arc(1, 2, 1, -3.0)
+        g.add_arc(0, 2, 1, 0.0)
+        g.add_arc(2, 3, 2, 1.0)
+        res = g.solve(0, 3, 2)
+        assert res.amount == 2
+        assert res.cost == pytest.approx((-2 - 3 + 1) + (0 + 1))
+
+    def test_stop_when_unprofitable(self):
+        g = MinCostFlow(3)
+        g.add_arc(0, 1, 1, -2.0)
+        g.add_arc(0, 1, 1, 3.0)
+        g.add_arc(1, 2, 2, 0.0)
+        res = g.solve(0, 2, 2, stop_when_unprofitable=True)
+        assert res.amount == 1
+        assert res.cost == pytest.approx(-2.0)
+
+    def test_residual_rerouting(self):
+        # Classic case where a later augmentation must undo an earlier arc.
+        g = MinCostFlow(4)
+        g.add_arc(0, 1, 1, 1.0)
+        g.add_arc(0, 2, 1, 5.0)
+        g.add_arc(1, 3, 1, 1.0)
+        g.add_arc(1, 2, 1, 0.0)
+        g.add_arc(2, 3, 1, 1.0)
+        res = g.solve(0, 3, 2)
+        assert res.amount == 2
+        assert res.cost == pytest.approx((1 + 1) + (5 + 1))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MinCostFlow(0)
+        g = MinCostFlow(2)
+        with pytest.raises(ConfigurationError):
+            g.add_arc(0, 5, 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            g.add_arc(0, 1, -1, 0.0)
+        with pytest.raises(ConfigurationError):
+            g.solve(0, 0, 1)
+        with pytest.raises(ConfigurationError):
+            g.solve(0, 1, -1)
+
+    def test_non_dag_rejected_in_dag_mode(self):
+        g = MinCostFlow(2)
+        g.add_arc(0, 1, 1, 0.0)
+        g.add_arc(1, 0, 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            g.solve(0, 1, 1, dag=True)
+
+
+def _random_flow_instance(rng: np.random.Generator):
+    """A random DAG-ish transportation instance plus its LP formulation."""
+    n_nodes = int(rng.integers(4, 8))
+    arcs = []
+    for u in range(n_nodes - 1):
+        for v in range(u + 1, n_nodes):
+            if rng.random() < 0.6:
+                arcs.append((u, v, int(rng.integers(1, 4)), float(rng.normal())))
+    # Ensure connectivity source -> sink.
+    arcs.append((0, n_nodes - 1, 2, 5.0))
+    return n_nodes, arcs
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_flow_matches_lp_on_random_instances(seed: int):
+    """Property: SSP flow cost equals the LP min-cost flow value."""
+    import scipy.optimize
+
+    rng = np.random.default_rng(seed)
+    n_nodes, arcs = _random_flow_instance(rng)
+    target = int(rng.integers(1, 4))
+
+    g = MinCostFlow(n_nodes)
+    for u, v, cap, cost in arcs:
+        g.add_arc(u, v, cap, cost)
+    res = g.solve(0, n_nodes - 1, target, dag=True)
+
+    # LP: min sum c_e f_e st conservation, 0 <= f <= cap, flow value fixed.
+    n_arcs = len(arcs)
+    A_eq = np.zeros((n_nodes, n_arcs))
+    for j, (u, v, _cap, _c) in enumerate(arcs):
+        A_eq[u, j] += 1.0
+        A_eq[v, j] -= 1.0
+    b_eq = np.zeros(n_nodes)
+    b_eq[0] = res.amount
+    b_eq[n_nodes - 1] = -res.amount
+    lp = scipy.optimize.linprog(
+        c=[c for *_rest, c in arcs],
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=[(0, cap) for _u, _v, cap, _c in arcs],
+        method="highs",
+    )
+    assert lp.success
+    assert res.cost == pytest.approx(lp.fun, abs=1e-6)

@@ -1,0 +1,181 @@
+"""Unit tests for the network model: catalog, stations, users, topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.network.topology import single_cell_network
+
+
+class TestContentCatalog:
+    def test_basic_properties(self):
+        cat = ContentCatalog(5)
+        assert len(cat) == 5
+        assert 0 in cat and 4 in cat
+        assert 5 not in cat and -1 not in cat
+        assert cat.name_of(2) == "content-2"
+        assert list(cat.items) == [0, 1, 2, 3, 4]
+
+    def test_custom_names(self):
+        cat = ContentCatalog(2, names=("intro.mp4", "finale.mp4"))
+        assert cat.name_of(1) == "finale.mp4"
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(0)
+
+    def test_rejects_negative_item_size(self):
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(3, item_size=-1.0)
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(3, names=("a",))
+
+    def test_name_of_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ContentCatalog(3).name_of(7)
+
+
+class TestSmallBaseStation:
+    def test_valid_construction(self):
+        sbs = SmallBaseStation(0, cache_size=5, bandwidth=30.0, replacement_cost=100.0)
+        assert sbs.name == "SBS-0"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sbs_id=-1, cache_size=1, bandwidth=1.0, replacement_cost=1.0),
+            dict(sbs_id=0, cache_size=-2, bandwidth=1.0, replacement_cost=1.0),
+            dict(sbs_id=0, cache_size=1.5, bandwidth=1.0, replacement_cost=1.0),
+            dict(sbs_id=0, cache_size=1, bandwidth=-1.0, replacement_cost=1.0),
+            dict(sbs_id=0, cache_size=1, bandwidth=1.0, replacement_cost=-0.5),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SmallBaseStation(**kwargs)
+
+
+class TestMUClass:
+    def test_valid_construction(self):
+        mu = MUClass(3, 1, omega_bs=0.7, omega_sbs=0.007)
+        assert mu.name == "MU-3@SBS-1"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(class_id=-1, sbs_id=0, omega_bs=0.5),
+            dict(class_id=0, sbs_id=-1, omega_bs=0.5),
+            dict(class_id=0, sbs_id=0, omega_bs=-0.1),
+            dict(class_id=0, sbs_id=0, omega_bs=0.5, omega_sbs=-0.1),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MUClass(**kwargs)
+
+
+class TestNetwork:
+    def test_single_cell_builder(self):
+        net = single_cell_network(
+            num_items=10,
+            cache_size=3,
+            bandwidth=5.0,
+            replacement_cost=2.0,
+            omega_bs=[0.1, 0.9],
+        )
+        assert net.num_sbs == 1
+        assert net.num_classes == 2
+        assert net.num_items == 10
+        np.testing.assert_allclose(net.omega_bs, [0.1, 0.9])
+        np.testing.assert_allclose(net.omega_sbs, [0.0, 0.0])
+        assert net.cache_sizes.tolist() == [3]
+        assert net.bandwidths.tolist() == [5.0]
+        assert net.replacement_costs.tolist() == [2.0]
+
+    def test_multi_sbs_class_mapping(self):
+        cat = ContentCatalog(4)
+        sbss = (
+            SmallBaseStation(0, 2, 3.0, 1.0),
+            SmallBaseStation(1, 1, 2.0, 4.0),
+        )
+        classes = (
+            MUClass(0, 0, 0.5),
+            MUClass(1, 1, 0.2),
+            MUClass(2, 0, 0.9),
+        )
+        net = Network(cat, sbss, classes)
+        assert net.class_sbs.tolist() == [0, 1, 0]
+        assert net.classes_of_sbs[0].tolist() == [0, 2]
+        assert net.classes_of_sbs[1].tolist() == [1]
+        assert [c.class_id for c in net.classes_served_by(0)] == [0, 2]
+
+    def test_rejects_out_of_order_ids(self):
+        cat = ContentCatalog(4)
+        with pytest.raises(ConfigurationError):
+            Network(
+                cat,
+                (SmallBaseStation(1, 1, 1.0, 1.0),),
+                (MUClass(0, 0, 0.5),),
+            )
+
+    def test_rejects_dangling_sbs_reference(self):
+        cat = ContentCatalog(4)
+        with pytest.raises(ConfigurationError):
+            Network(
+                cat,
+                (SmallBaseStation(0, 1, 1.0, 1.0),),
+                (MUClass(0, 3, 0.5),),
+            )
+
+    def test_rejects_cache_larger_than_catalog(self):
+        with pytest.raises(ConfigurationError):
+            single_cell_network(
+                num_items=3,
+                cache_size=4,
+                bandwidth=1.0,
+                replacement_cost=1.0,
+                omega_bs=[0.5],
+            )
+
+    def test_with_bandwidths_scalar_and_vector(self):
+        net = single_cell_network(
+            num_items=5, cache_size=2, bandwidth=3.0, replacement_cost=1.0,
+            omega_bs=[0.5, 0.7],
+        )
+        assert net.with_bandwidths(9.0).bandwidths.tolist() == [9.0]
+        assert net.with_bandwidths([4.0]).bandwidths.tolist() == [4.0]
+        with pytest.raises(ConfigurationError):
+            net.with_bandwidths([1.0, 2.0])
+
+    def test_with_replacement_costs_preserves_rest(self):
+        net = single_cell_network(
+            num_items=5, cache_size=2, bandwidth=3.0, replacement_cost=1.0,
+            omega_bs=[0.5],
+        )
+        new = net.with_replacement_costs(7.5)
+        assert new.replacement_costs.tolist() == [7.5]
+        assert new.bandwidths.tolist() == [3.0]
+        assert new.cache_sizes.tolist() == [2]
+
+    def test_with_cache_sizes(self):
+        net = single_cell_network(
+            num_items=5, cache_size=2, bandwidth=3.0, replacement_cost=1.0,
+            omega_bs=[0.5],
+        )
+        assert net.with_cache_sizes(4).cache_sizes.tolist() == [4]
+
+    def test_builder_rejects_mismatched_weights(self):
+        with pytest.raises(ConfigurationError):
+            single_cell_network(
+                num_items=5,
+                cache_size=1,
+                bandwidth=1.0,
+                replacement_cost=1.0,
+                omega_bs=[0.5, 0.6],
+                omega_sbs=[0.1],
+            )

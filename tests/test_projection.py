@@ -1,0 +1,137 @@
+"""Tests for the projection operators (box, halfspace+box, capped simplex)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.optim.projection import (
+    project_box,
+    project_capped_simplex,
+    project_halfspace_box,
+    project_halfspace_box_batch,
+)
+
+
+class TestProjectBox:
+    def test_clips(self):
+        v = np.array([-1.0, 0.5, 2.0])
+        np.testing.assert_allclose(project_box(v, 0.0, 1.0), [0.0, 0.5, 1.0])
+
+    def test_empty_box_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            project_box(np.array([0.0]), 1.0, 0.0)
+
+
+class TestHalfspaceBox:
+    def test_inactive_constraint_is_plain_clip(self):
+        v = np.array([0.2, 0.3])
+        a = np.ones(2)
+        out = project_halfspace_box(v, a, budget=10.0)
+        np.testing.assert_allclose(out, v)
+
+    def test_active_constraint_hits_budget(self):
+        v = np.array([1.0, 1.0, 1.0])
+        a = np.ones(3)
+        out = project_halfspace_box(v, a, budget=1.5)
+        assert a @ out == pytest.approx(1.5, abs=1e-8)
+        np.testing.assert_allclose(out, 0.5, atol=1e-8)
+
+    def test_weighted_projection_feasible_and_optimal(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = 5
+            v = rng.normal(size=n)
+            a = rng.uniform(0.1, 2.0, n)
+            budget = rng.uniform(0.2, 2.0)
+            out = project_halfspace_box(v, a, budget)
+            assert np.all(out >= -1e-10) and np.all(out <= 1 + 1e-10)
+            assert a @ out <= budget + 1e-8
+            # Optimality: no feasible point is closer (spot check via cvx-ish
+            # comparison with scipy).
+            import scipy.optimize
+
+            res = scipy.optimize.minimize(
+                lambda y: 0.5 * np.sum((y - v) ** 2),
+                np.clip(v, 0, 1),
+                jac=lambda y: y - v,
+                bounds=[(0, 1)] * n,
+                constraints=[{"type": "ineq", "fun": lambda y: budget - a @ y}],
+                method="SLSQP",
+            )
+            assert 0.5 * np.sum((out - v) ** 2) <= res.fun + 1e-6
+
+    def test_unreachable_budget_raises(self):
+        v = np.zeros(2)
+        a = np.ones(2)
+        with pytest.raises(InfeasibleProblemError):
+            project_halfspace_box(v, a, budget=-1.0, lo=0.5, hi=1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_halfspace_box(np.ones(2), np.array([1.0, -1.0]), 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_halfspace_box(np.ones(3), np.ones(2), 1.0)
+
+
+class TestHalfspaceBoxBatch:
+    def test_matches_scalar_version(self):
+        rng = np.random.default_rng(1)
+        V = rng.normal(size=(6, 8))
+        A = rng.uniform(0.1, 1.5, size=(6, 8))
+        budgets = rng.uniform(0.5, 3.0, size=6)
+        batch = project_halfspace_box_batch(V, A, budgets)
+        for i in range(6):
+            single = project_halfspace_box(V[i], A[i], budgets[i])
+            np.testing.assert_allclose(batch[i], single, atol=1e-6)
+
+    def test_broadcast_weights(self):
+        V = np.ones((3, 4))
+        a = np.ones(4)
+        out = project_halfspace_box_batch(V, a, np.array([4.0, 2.0, 1.0]))
+        np.testing.assert_allclose(out.sum(axis=1), [4.0, 2.0, 1.0], atol=1e-7)
+
+    def test_bad_budget_shape(self):
+        with pytest.raises(ConfigurationError):
+            project_halfspace_box_batch(np.ones((2, 2)), np.ones(2), np.ones(3))
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            project_halfspace_box_batch(np.ones(4), np.ones(4), np.ones(1))
+
+
+class TestCappedSimplex:
+    def test_exact_sum(self):
+        v = np.array([0.9, 0.5, 0.1])
+        out = project_capped_simplex(v, total=1.0, cap=1.0)
+        assert out.sum() == pytest.approx(1.0, abs=1e-8)
+        assert np.all(out >= -1e-10) and np.all(out <= 1 + 1e-10)
+
+    def test_respects_caps(self):
+        v = np.array([5.0, 5.0, -5.0])
+        out = project_capped_simplex(v, total=1.2, cap=np.array([1.0, 0.5, 1.0]))
+        assert out.sum() == pytest.approx(1.2, abs=1e-7)
+        assert out[1] <= 0.5 + 1e-9
+
+    def test_unreachable_total_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            project_capped_simplex(np.zeros(2), total=3.0, cap=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), budget=st.floats(0.05, 5.0))
+def test_halfspace_projection_properties(seed: int, budget: float):
+    """Properties: feasibility and idempotence of the projection."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 10))
+    v = rng.normal(scale=2.0, size=n)
+    a = rng.uniform(0.0, 2.0, n)
+    out = project_halfspace_box(v, a, budget)
+    assert np.all(out >= -1e-9) and np.all(out <= 1 + 1e-9)
+    assert a @ out <= budget + 1e-7
+    again = project_halfspace_box(out, a, budget)
+    np.testing.assert_allclose(again, out, atol=1e-6)

@@ -1,0 +1,75 @@
+"""Tests for the scenario container and policy-plan validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.network.topology import single_cell_network
+from repro.scenario import PolicyPlan, Scenario, validate_plan
+from repro.workload.demand import DemandMatrix, paper_demand
+from repro.workload.predictor import PerfectPredictor, PerturbedPredictor
+
+
+class TestScenario:
+    def test_defaults(self, small_network, small_demand):
+        sc = Scenario(network=small_network, demand=small_demand)
+        assert isinstance(sc.predictor, PerfectPredictor)
+        assert sc.x_initial.shape == (1, 8)
+        assert sc.x_initial.sum() == 0.0
+        assert sc.horizon == 12
+
+    def test_problem_roundtrip(self, small_scenario):
+        prob = small_scenario.problem()
+        assert prob.horizon == small_scenario.horizon
+        np.testing.assert_allclose(prob.demand, small_scenario.demand.rates)
+
+    def test_window_problem_uses_prediction(self, small_scenario):
+        predicted = np.ones((3, 6, 8))
+        prob = small_scenario.window_problem(predicted, small_scenario.x_initial)
+        np.testing.assert_allclose(prob.demand, predicted)
+
+    def test_class_count_mismatch_rejected(self, small_network, rng):
+        demand = paper_demand(4, 3, 8, rng=rng)  # network has 6 classes
+        with pytest.raises(DimensionMismatchError):
+            Scenario(network=small_network, demand=demand)
+
+    def test_item_count_mismatch_rejected(self, small_network, rng):
+        demand = paper_demand(4, 6, 5, rng=rng)
+        with pytest.raises(DimensionMismatchError):
+            Scenario(network=small_network, demand=demand)
+
+    def test_with_predictor(self, small_scenario):
+        noisy = PerturbedPredictor(small_scenario.demand, eta=0.2)
+        sc = small_scenario.with_predictor(noisy)
+        assert sc.predictor is noisy
+        assert sc.network is small_scenario.network
+
+
+class TestValidatePlan:
+    def test_accepts_valid(self, small_scenario):
+        x = np.zeros((12, 1, 8))
+        validate_plan(small_scenario, PolicyPlan(x=x))
+
+    def test_rejects_wrong_shape(self, small_scenario):
+        with pytest.raises(DimensionMismatchError):
+            validate_plan(small_scenario, PolicyPlan(x=np.zeros((2, 1, 8))))
+
+    def test_rejects_capacity_violation(self, small_scenario):
+        x = np.ones((12, 1, 8))  # C = 3 < 8
+        with pytest.raises(ConfigurationError):
+            validate_plan(small_scenario, PolicyPlan(x=x))
+
+    def test_rejects_out_of_range(self, small_scenario):
+        x = np.zeros((12, 1, 8))
+        x[0, 0, 0] = 2.0
+        with pytest.raises(ConfigurationError):
+            validate_plan(small_scenario, PolicyPlan(x=x))
+
+    def test_rejects_bad_y_shape(self, small_scenario):
+        x = np.zeros((12, 1, 8))
+        with pytest.raises(DimensionMismatchError):
+            validate_plan(
+                small_scenario, PolicyPlan(x=x, y=np.zeros((12, 2, 8)))
+            )

@@ -1,0 +1,70 @@
+"""Tests for the subgradient step rules (Eq. 15-16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optim.subgradient import (
+    constant_step_rule,
+    paper_step_rule,
+    project_nonnegative,
+    sqrt_step_rule,
+    subgradient_step,
+)
+
+
+class TestStepRules:
+    def test_paper_rule_matches_equation_16(self):
+        rule = paper_step_rule(alpha=0.5)
+        assert rule(1) == pytest.approx(1 / 1.5)
+        assert rule(4) == pytest.approx(1 / 3.0)
+
+    def test_paper_rule_decreasing(self):
+        rule = paper_step_rule(alpha=0.1)
+        steps = [rule(l) for l in range(1, 20)]
+        assert all(b < a for a, b in zip(steps, steps[1:]))
+
+    def test_constant_rule(self):
+        rule = constant_step_rule(0.3)
+        assert rule(1) == rule(100) == 0.3
+
+    def test_sqrt_rule(self):
+        rule = sqrt_step_rule(2.0)
+        assert rule(4) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paper_step_rule(alpha=-1.0)
+        with pytest.raises(ConfigurationError):
+            constant_step_rule(0.0)
+        with pytest.raises(ConfigurationError):
+            sqrt_step_rule(-2.0)
+
+
+class TestSteps:
+    def test_projection(self):
+        mu = np.array([-1.0, 0.5])
+        np.testing.assert_allclose(project_nonnegative(mu), [0.0, 0.5])
+
+    def test_subgradient_step(self):
+        mu = np.array([1.0, 0.0])
+        g = np.array([-3.0, 2.0])
+        out = subgradient_step(mu, g, 0.5)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            subgradient_step(np.zeros(1), np.zeros(1), -0.1)
+
+    def test_dual_ascent_on_simple_problem(self):
+        """The rules drive a 1-D dual to its optimum: max_mu>=0 d(mu) with
+        d(mu) = min_x (x^2 + mu(1 - x)) = mu - mu^2/4, optimum mu* = 2."""
+        for rule in (paper_step_rule(0.05), sqrt_step_rule(1.0)):
+            mu = np.array([0.0])
+            for l in range(1, 400):
+                x = mu / 2  # argmin of the Lagrangian
+                grad = 1 - x  # subgradient of d at mu
+                mu = subgradient_step(mu, grad, rule(l))
+            assert mu[0] == pytest.approx(2.0, abs=0.05)

@@ -1,0 +1,84 @@
+"""Tests for the theoretical bounds module (Theorems 2-3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.theory.bounds import (
+    afhc_competitive_ratio,
+    chc_competitive_ratio,
+    chc_rounding_ratio,
+    rhc_competitive_ratio,
+)
+
+
+class TestCompetitiveRatios:
+    def test_rhc_shrinks_with_window(self):
+        """The 1 + O(1/w) shape: ratio decreases toward 1 as w grows."""
+        prev = np.inf
+        for w in (1, 2, 5, 10, 50):
+            ratio = rhc_competitive_ratio(w, beta=100.0, min_operating_cost=10.0)
+            assert 1.0 < ratio < prev
+            prev = ratio
+        assert rhc_competitive_ratio(10**9, 100.0, 10.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_afhc_tighter_than_rhc(self):
+        rhc = rhc_competitive_ratio(10, 100.0, 10.0)
+        afhc = afhc_competitive_ratio(10, 100.0, 10.0)
+        assert afhc < rhc
+
+    def test_chc_interpolates(self):
+        full = chc_competitive_ratio(10, 10, 100.0, 10.0)
+        partial = chc_competitive_ratio(10, 5, 100.0, 10.0)
+        one = chc_competitive_ratio(10, 1, 100.0, 10.0)
+        assert full <= partial <= one
+
+    def test_zero_beta_is_one(self):
+        assert rhc_competitive_ratio(5, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rhc_competitive_ratio(0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            rhc_competitive_ratio(5, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            rhc_competitive_ratio(5, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            chc_competitive_ratio(5, 9, 1.0, 1.0)
+
+
+class TestRoundingRatio:
+    def test_paper_constant(self):
+        assert chc_rounding_ratio() == pytest.approx(2.618, abs=1e-3)
+
+    def test_custom_rho(self):
+        assert chc_rounding_ratio(0.5) == pytest.approx(4.0)
+
+
+class TestEmpiricalConsistency:
+    def test_measured_rhc_within_theoretical_bound(self, small_scenario):
+        """The measured RHC/offline ratio respects a (loose) theory bound."""
+        from repro.core.offline import OfflineOptimal
+        from repro.core.online import RHC, OnlineSolveSettings
+        from repro.sim.engine import evaluate_plan
+        from repro.workload.predictor import PerfectPredictor
+
+        scenario = small_scenario.with_predictor(
+            PerfectPredictor(small_scenario.demand)
+        )
+        settings = OnlineSolveSettings(max_iter=30, gap_tol=1e-3)
+        rhc_cost = evaluate_plan(
+            scenario, RHC(window=6, settings=settings).plan(scenario)
+        ).cost.total
+        off = evaluate_plan(
+            scenario, OfflineOptimal(max_iter=100).plan(scenario)
+        ).cost
+        measured = rhc_cost / off.total
+        # e0: the smallest per-slot operating cost along the offline run.
+        per_slot = off.operating / scenario.horizon
+        bound = rhc_competitive_ratio(
+            6, float(scenario.network.replacement_costs[0]), max(per_slot, 1e-9)
+        )
+        assert measured <= bound + 1e-6

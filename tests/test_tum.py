@@ -1,0 +1,101 @@
+"""Tests for the total-unimodularity utilities (Theorem 1 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optim.tum import (
+    ghouila_houri_check,
+    is_interval_matrix,
+    is_totally_unimodular,
+)
+
+
+class TestIsTotallyUnimodular:
+    def test_identity_is_tu(self):
+        assert is_totally_unimodular(np.eye(3))
+
+    def test_paper_switching_matrix_is_tu(self):
+        """The paper's D = [1, -1, 1] (Eq. 25) and its T-slot extension."""
+        assert is_totally_unimodular(np.array([[1.0, -1.0, 1.0]]))
+        # Two-slot extension: rows p_t - x_t + x_{t-1} >= 0 pattern.
+        D2 = np.array(
+            [
+                [1.0, 0.0, -1.0, 0.0, 0.0],
+                [0.0, 1.0, 1.0, -1.0, 0.0],
+            ]
+        )
+        assert is_totally_unimodular(D2)
+
+    def test_interval_capacity_block_is_tu(self):
+        """Constraint (1)'s per-slot capacity rows form an interval matrix."""
+        A = np.array([[1.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 1.0]])
+        assert is_interval_matrix(A)
+        assert is_totally_unimodular(A)
+
+    def test_known_non_tu_matrix(self):
+        # Determinant 2 submatrix (odd cycle incidence).
+        A = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        assert not is_totally_unimodular(A)
+        assert not ghouila_houri_check(A)
+
+    def test_rejects_non_pm_one_entries(self):
+        with pytest.raises(ConfigurationError):
+            is_totally_unimodular(np.array([[2.0, 0.0]]))
+
+    def test_max_order_short_circuit(self):
+        A = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        # Only checking 1x1 minors cannot detect the violation.
+        assert is_totally_unimodular(A, max_order=1)
+
+
+class TestIntervalMatrix:
+    def test_contiguous_ones(self):
+        assert is_interval_matrix(np.array([[1.0], [1.0], [0.0]]))
+        assert is_interval_matrix(np.array([[0.0], [1.0], [1.0]]))
+
+    def test_gap_detected(self):
+        assert not is_interval_matrix(np.array([[1.0], [0.0], [1.0]]))
+
+    def test_non_binary_rejected(self):
+        assert not is_interval_matrix(np.array([[-1.0], [1.0]]))
+
+    def test_requires_matrix(self):
+        with pytest.raises(ConfigurationError):
+            is_interval_matrix(np.ones(3))
+
+
+class TestGhouilaHouri:
+    def test_agrees_with_determinant_check_on_small_matrices(self):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            A = rng.choice([-1.0, 0.0, 1.0], size=(3, 3), p=[0.2, 0.5, 0.3])
+            assert ghouila_houri_check(A) == is_totally_unimodular(A)
+
+
+def test_caching_lp_constraint_matrix_is_tu():
+    """Theorem 1: the full P1 constraint matrix (capacity + switching) is TU.
+
+    Built for a small instance (T=2, K=2) over variables
+    ``(x_11, x_12, x_21, x_22, p_11, p_12, p_21, p_22)``.
+    """
+    cap = np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0, 0],
+            [0, 0, 1, 1, 0, 0, 0, 0],
+        ],
+        dtype=float,
+    )
+    switch = np.array(
+        [
+            [1, 0, 0, 0, -1, 0, 0, 0],
+            [0, 1, 0, 0, 0, -1, 0, 0],
+            [-1, 0, 1, 0, 0, 0, -1, 0],
+            [0, -1, 0, 1, 0, 0, 0, -1],
+        ],
+        dtype=float,
+    )
+    A = np.vstack([cap, switch])
+    assert is_totally_unimodular(A, max_order=4)
