@@ -27,7 +27,7 @@ def _scenario(bench_scale):
     return paper_scenario(seed=1, horizon=bench_scale.horizon, beta=50.0)
 
 
-def test_ablation_rho(benchmark, bench_scale, save_report):
+def test_ablation_rho(benchmark, bench_scale, save_report, save_json):
     scenario = _scenario(bench_scale)
     rho_star = optimal_rounding_threshold()
     rhos = (0.2, rho_star, 0.5, 0.7, 0.9)
@@ -47,12 +47,19 @@ def test_ablation_rho(benchmark, bench_scale, save_report):
         marker = "  <- rho* (Theorem 3)" if abs(rho - rho_star) < 1e-9 else ""
         lines.append(f"  rho={rho:.3f}  total={total:12.1f}{marker}")
     save_report(f"ablation_rho_{bench_scale.name}", "\n".join(lines))
+    save_json(
+        "ablation_rho",
+        {
+            "rho_star": float(rho_star),
+            "totals": {f"{rho:.6f}": float(t) for rho, t in totals.items()},
+        },
+    )
 
     best = min(totals.values())
     assert totals[rho_star] <= best * 1.05
 
 
-def test_ablation_commitment(benchmark, bench_scale, save_report):
+def test_ablation_commitment(benchmark, bench_scale, save_report, save_json):
     scenario = _scenario(bench_scale)
     levels = (1, 2, 5, 10)
 
@@ -71,6 +78,10 @@ def test_ablation_commitment(benchmark, bench_scale, save_report):
         note = " (RHC-like)" if r == 1 else " (AFHC)" if r == 10 else ""
         lines.append(f"  r={r:<3d} total={total:12.1f}{note}")
     save_report(f"ablation_commitment_{bench_scale.name}", "\n".join(lines))
+    save_json(
+        "ablation_commitment",
+        {"totals": {str(r): float(t) for r, t in totals.items()}},
+    )
 
     values = np.array(list(totals.values()))
     # All commitment levels stay within a modest band of each other.

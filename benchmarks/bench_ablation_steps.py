@@ -13,7 +13,7 @@ from repro.core.primal_dual import solve_primal_dual
 from repro.sim.experiment import paper_scenario
 
 
-def test_ablation_step_rules(benchmark, bench_scale, save_report):
+def test_ablation_step_rules(benchmark, bench_scale, save_report, save_json):
     scenario = paper_scenario(seed=1, horizon=min(bench_scale.horizon, 40))
     problem = scenario.problem()
 
@@ -34,6 +34,18 @@ def test_ablation_step_rules(benchmark, bench_scale, save_report):
             f"feasible cost={res.upper_bound:12.1f}"
         )
     save_report(f"ablation_steps_{bench_scale.name}", "\n".join(lines))
+    save_json(
+        "ablation_steps",
+        {
+            step: {
+                "iterations": res.iterations,
+                "gap": float(res.gap),
+                "feasible_cost": float(res.upper_bound),
+                "timings": dict(res.timings),
+            }
+            for step, res in results.items()
+        },
+    )
 
     polyak = results["polyak"]
     paper = results["paper"]

@@ -14,15 +14,18 @@ Shape expectations from the paper (asserted loosely):
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.sim.experiment import beta_sweep
-from repro.sim.report import render_sweep_table
+from repro.sim.report import render_sweep_table, sweep_to_dict
 
 _PANELS = ("total", "replacement", "replacements", "bs_cost")
 
 
-def test_fig2_beta_sweep(benchmark, bench_scale, save_report):
+def test_fig2_beta_sweep(benchmark, bench_scale, save_report, save_json):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(
         lambda: beta_sweep(
             bench_scale.betas,
@@ -32,12 +35,14 @@ def test_fig2_beta_sweep(benchmark, bench_scale, save_report):
         rounds=1,
         iterations=1,
     )
+    elapsed = time.perf_counter() - started
 
     text = "\n\n".join(
         render_sweep_table(sweep, metric, title=f"Fig 2{panel} - {metric} vs beta")
         for panel, metric in zip("abcd", _PANELS)
     )
     save_report(f"fig2_beta_{bench_scale.name}", text)
+    save_json("fig2_beta", {"elapsed_seconds": elapsed, "sweep": sweep_to_dict(sweep)})
 
     totals = sweep.table("total")
     offline = np.array(totals["Offline"])

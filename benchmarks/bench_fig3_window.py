@@ -8,13 +8,16 @@ information ... the online algorithms perform better").
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.sim.experiment import window_sweep
-from repro.sim.report import render_sweep_table
+from repro.sim.report import render_sweep_table, sweep_to_dict
 
 
-def test_fig3_window_sweep(benchmark, bench_scale, save_report):
+def test_fig3_window_sweep(benchmark, bench_scale, save_report, save_json):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(
         lambda: window_sweep(
             bench_scale.windows,
@@ -24,6 +27,7 @@ def test_fig3_window_sweep(benchmark, bench_scale, save_report):
         rounds=1,
         iterations=1,
     )
+    elapsed = time.perf_counter() - started
 
     text = "\n\n".join(
         (
@@ -34,6 +38,9 @@ def test_fig3_window_sweep(benchmark, bench_scale, save_report):
         )
     )
     save_report(f"fig3_window_{bench_scale.name}", text)
+    save_json(
+        "fig3_window", {"elapsed_seconds": elapsed, "sweep": sweep_to_dict(sweep)}
+    )
 
     totals = sweep.table("total")
     offline = np.array(totals["Offline"])

@@ -9,13 +9,16 @@ serve everything, while LRFU's stays flat (its ranking ignores bandwidth).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.sim.experiment import bandwidth_sweep
-from repro.sim.report import render_sweep_table
+from repro.sim.report import render_sweep_table, sweep_to_dict
 
 
-def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report):
+def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report, save_json):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(
         lambda: bandwidth_sweep(
             bench_scale.bandwidths,
@@ -25,6 +28,7 @@ def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report):
         rounds=1,
         iterations=1,
     )
+    elapsed = time.perf_counter() - started
 
     text = "\n\n".join(
         (
@@ -35,6 +39,10 @@ def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report):
         )
     )
     save_report(f"fig4_bandwidth_{bench_scale.name}", text)
+    save_json(
+        "fig4_bandwidth",
+        {"elapsed_seconds": elapsed, "sweep": sweep_to_dict(sweep)},
+    )
 
     totals = sweep.table("total")
     offline = np.array(totals["Offline"])

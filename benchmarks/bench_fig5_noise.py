@@ -7,13 +7,16 @@ exactly flat; at high eta the worst online algorithm approaches LRFU.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.sim.experiment import noise_sweep
-from repro.sim.report import render_sweep_table
+from repro.sim.report import render_sweep_table, sweep_to_dict
 
 
-def test_fig5_noise_sweep(benchmark, bench_scale, save_report):
+def test_fig5_noise_sweep(benchmark, bench_scale, save_report, save_json):
+    started = time.perf_counter()
     sweep = benchmark.pedantic(
         lambda: noise_sweep(
             bench_scale.etas,
@@ -23,9 +26,13 @@ def test_fig5_noise_sweep(benchmark, bench_scale, save_report):
         rounds=1,
         iterations=1,
     )
+    elapsed = time.perf_counter() - started
 
     text = render_sweep_table(sweep, "total", title="Fig 5 - total cost vs eta")
     save_report(f"fig5_noise_{bench_scale.name}", text)
+    save_json(
+        "fig5_noise", {"elapsed_seconds": elapsed, "sweep": sweep_to_dict(sweep)}
+    )
 
     totals = sweep.table("total")
     # LRFU and Offline see noise-free information: exactly flat curves.

@@ -5,27 +5,82 @@ LRFU, with cost ratios to offline of 1.02/1.08/1.11 (LRFU: 1.30). The
 asserted reproduction target is the *ordering and sidedness* (see
 EXPERIMENTS.md for the measured factors): offline <= RHC <= CHC/AFHC <=
 LRFU, online savings strictly positive.
+
+This bench also doubles as the parallel-runtime regression check: it runs
+the comparison serially and again through a 4-worker process pool, asserts
+the cost metrics are bit-identical, and records both wall times (plus the
+speedup and host core count) in ``BENCH_headline.json``. The >= 2x speedup
+assertion only fires on hosts with at least 4 cores — on smaller machines
+the parallel run is still checked for correctness and its timing recorded.
 """
 
 from __future__ import annotations
 
-from repro.sim.experiment import headline_comparison
-from repro.sim.report import render_headline_table
+import os
+import time
+
+from repro.sim.experiment import METRICS, headline_comparison
+from repro.sim.report import render_headline_table, sweep_to_dict
+
+PARALLEL_WORKERS = 4
 
 
-def test_headline_beta50(benchmark, bench_scale, save_report):
-    sweep = benchmark.pedantic(
-        lambda: headline_comparison(
-            beta=50.0,
-            seeds=bench_scale.seeds,
-            horizon=bench_scale.horizon,
-        ),
-        rounds=1,
-        iterations=1,
+def _cost_metrics(sweep):
+    """All recorded metrics except the timing measurement."""
+    return {
+        name: {m: vals[m] for m in METRICS if m != "wall_time"}
+        for name, vals in sweep.points[0].metrics.items()
+    }
+
+
+def test_headline_beta50(benchmark, bench_scale, save_report, save_json):
+    kwargs = dict(
+        beta=50.0, seeds=bench_scale.seeds, horizon=bench_scale.horizon
     )
+
+    serial_started = time.perf_counter()
+    sweep = benchmark.pedantic(
+        lambda: headline_comparison(**kwargs), rounds=1, iterations=1
+    )
+    serial_seconds = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = headline_comparison(
+        executor=f"process:{PARALLEL_WORKERS}", **kwargs
+    )
+    parallel_seconds = time.perf_counter() - parallel_started
+
+    # Determinism contract: the executor must not change a single number.
+    assert _cost_metrics(parallel) == _cost_metrics(sweep)
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    cpu_count = os.cpu_count() or 1
     save_report(
         f"headline_beta50_{bench_scale.name}", render_headline_table(sweep)
     )
+    save_json(
+        "headline",
+        {
+            "beta": 50.0,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "workers": PARALLEL_WORKERS,
+            "executor": f"process:{PARALLEL_WORKERS}",
+            "cpu_count": cpu_count,
+            "costs_identical": True,
+            "sweep": sweep_to_dict(sweep),
+        },
+    )
+    print(
+        f"\nserial {serial_seconds:.1f}s, process:{PARALLEL_WORKERS} "
+        f"{parallel_seconds:.1f}s -> {speedup:.2f}x on {cpu_count} cores"
+    )
+    if cpu_count >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x with {PARALLEL_WORKERS} workers on "
+            f"{cpu_count} cores, got {speedup:.2f}x"
+        )
 
     metrics = sweep.points[0].metrics
     totals = {name: vals["total"] for name, vals in metrics.items()}

@@ -17,6 +17,7 @@ variable:
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -85,5 +86,27 @@ def save_report():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json(bench_scale):
+    """Persist a machine-readable benchmark record as ``BENCH_<name>.json``.
+
+    Every benchmark writes one of these next to its ``.txt`` report so
+    regression-tracking tooling can diff numbers without parsing tables.
+    The bench name and scale are stamped into the payload.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> Path:
+        record = {"bench": name, "scale": bench_scale.name, **payload}
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"[saved to {path}]")
+        return path
 
     return _save

@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.sim.experiment import (
     SweepResult,
@@ -50,7 +50,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also render each metric as an ASCII chart",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for the (point, seed, policy) grid "
+        "(default: serial, or REPRO_WORKERS if set)",
+    )
+    parser.add_argument(
+        "--executor",
+        type=str,
+        default=None,
+        help="executor spec, e.g. 'process:4', 'thread:8' or 'serial' "
+        "(overrides --workers)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the sweep result as JSON to PATH",
+    )
     parser.add_argument("--verbose", action="store_true")
+
+
+def _executor_spec(args: argparse.Namespace) -> str | None:
+    """Translate --executor/--workers into an executor spec string."""
+    if args.executor:
+        return args.executor
+    if args.workers is not None:
+        return f"process:{args.workers}" if args.workers > 1 else "serial"
+    return None
 
 
 def _print_sweep(
@@ -111,6 +141,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         mode=args.mode,
         verbose=args.verbose,
         horizon=args.horizon,
+        executor=_executor_spec(args),
     )
 
     if args.command == "fig2":
@@ -134,6 +165,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         sweep = headline_comparison(beta=50.0, window=min(args.window, 5), **common)
         print()
         print(render_headline_table(sweep))
+
+    if args.json:
+        import json
+
+        from repro.sim.report import sweep_to_dict
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(sweep_to_dict(sweep), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
 
     elapsed = time.perf_counter() - started
     print(f"\ndone in {elapsed:.1f}s", file=sys.stderr)

@@ -22,6 +22,8 @@ optimum. Two exact backends are provided:
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 from typing import Literal
 
@@ -33,15 +35,45 @@ from repro.exceptions import ConfigurationError, SolverError
 from repro.network.topology import Network
 from repro.optim.linprog import solve_lp
 from repro.optim.mincostflow import MinCostFlow
+from repro.perf.executor import Executor, resolve_executor
 from repro.types import FloatArray, is_binary
 
 CachingBackend = Literal["auto", "flow", "lp", "lp-simplex"]
 
 #: ``auto`` uses the combinatorial flow solver up to this many ``(slot,
-#: item)`` cells per SBS and the sparse HiGHS LP above it. Measured on the
-#: paper's scenario the flow solver still wins at T=100, K=30 (3000 cells),
-#: so the crossover is set above that.
+#: item)`` cells per SBS and the sparse HiGHS LP above it. Re-measured
+#: after the flow-graph-reuse optimization (measurement table in
+#: EXPERIMENTS.md, "Backend crossover"): with graph reuse the flow solve is
+#: dominated by augmentation, which scales with the cache size, so the true
+#: crossover depends on ``cap`` more than on the cell count. At the paper's
+#: ``cap = 5`` the two backends are within ~10% of each other over
+#: 3000-5000 cells (flow clearly ahead below ~1500); at ``cap >= 10`` HiGHS
+#: wins from ~2000 cells. The cell count stays the rule's proxy because it
+#: is what callers know cheaply; pin :data:`BACKEND_ENV` to override.
 AUTO_FLOW_LIMIT = 5000
+
+#: Environment override for the ``auto`` backend choice: set
+#: ``REPRO_CACHING_BACKEND=flow|lp|lp-simplex`` to pin the backend without
+#: touching call sites. Explicit ``backend=`` arguments always win.
+BACKEND_ENV = "REPRO_CACHING_BACKEND"
+
+#: Environment kill-switch for the flow-graph template pool
+#: (``REPRO_FLOW_REUSE=0`` rebuilds the graph for every solve).
+FLOW_REUSE_ENV = "REPRO_FLOW_REUSE"
+
+
+def resolve_backend(backend: CachingBackend, cells: int) -> str:
+    """Resolve ``auto`` using :data:`BACKEND_ENV` or the cell-count rule."""
+    if backend != "auto":
+        return backend
+    env = os.environ.get(BACKEND_ENV)
+    if env:
+        if env not in ("flow", "lp", "lp-simplex"):
+            raise ConfigurationError(
+                f"{BACKEND_ENV} must be flow, lp, or lp-simplex; got {env!r}"
+            )
+        return env
+    return "flow" if cells <= AUTO_FLOW_LIMIT else "lp"
 
 
 @dataclass(frozen=True)
@@ -74,15 +106,21 @@ def solve_caching(
     x_initial: FloatArray,
     *,
     backend: CachingBackend = "auto",
+    executor: Executor | str | None = None,
 ) -> CachingSolution:
     """Solve ``P1`` given multipliers ``mu`` of shape ``(T, M, K)``.
 
     ``x_initial`` is the 0/1 cache state entering the first slot, shape
     ``(N, K)``; insertions in the first slot are charged against it.
+
+    ``P1`` is exactly separable per SBS, so with an ``executor`` (or the
+    ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment) the per-SBS solves
+    fan out in parallel; results are reduced in SBS order, bit-identical
+    to the serial path.
     """
-    if backend == "auto":
-        cells = mu.shape[0] * network.num_items
-        backend = "flow" if cells <= AUTO_FLOW_LIMIT else "lp"
+    backend = resolve_backend(backend, mu.shape[0] * network.num_items)
+    if backend not in ("flow", "lp", "lp-simplex"):
+        raise ConfigurationError(f"unknown caching backend {backend!r}")
     if mu.ndim != 3 or mu.shape[1:] != (network.num_classes, network.num_items):
         raise ConfigurationError(
             f"mu must have shape (T, M, K), got {mu.shape}"
@@ -92,23 +130,39 @@ def solve_caching(
     T = mu.shape[0]
     prices = class_prices(network, mu)
 
+    tasks = [
+        (
+            prices[:, n, :],
+            float(network.replacement_costs[n]),
+            int(network.cache_sizes[n]),
+            np.asarray(x_initial[n], dtype=np.float64),
+            backend,
+        )
+        for n in range(network.num_sbs)
+    ]
+    ex = resolve_executor(executor)
+    if ex.workers > 1 and len(tasks) > 1:
+        solved = ex.map(_solve_sbs_task, tasks)
+    else:
+        solved = [_solve_sbs_task(task) for task in tasks]
+
     x = np.zeros((T, network.num_sbs, network.num_items))
     objective = 0.0
-    for n in range(network.num_sbs):
-        c = prices[:, n, :]
-        beta = float(network.replacement_costs[n])
-        cap = int(network.cache_sizes[n])
-        x0 = x_initial[n]
-        if backend == "flow":
-            xn, obj = _solve_single_sbs_flow(c, beta, cap, x0)
-        elif backend in ("lp", "lp-simplex"):
-            lp_backend = "scipy" if backend == "lp" else "simplex"
-            xn, obj = _solve_single_sbs_lp(c, beta, cap, x0, lp_backend=lp_backend)
-        else:
-            raise ConfigurationError(f"unknown caching backend {backend!r}")
+    for n, (xn, obj) in enumerate(solved):
         x[:, n, :] = xn
         objective += obj
     return CachingSolution(x=x, objective=objective)
+
+
+def _solve_sbs_task(
+    task: tuple[FloatArray, float, int, FloatArray, str],
+) -> tuple[FloatArray, float]:
+    """One SBS's ``P1`` solve — module-level so process executors can use it."""
+    c, beta, cap, x0, backend = task
+    if backend == "flow":
+        return _solve_single_sbs_flow(c, beta, cap, x0)
+    lp_backend = "scipy" if backend == "lp" else "simplex"
+    return _solve_single_sbs_lp(c, beta, cap, x0, lp_backend=lp_backend)
 
 
 def caching_objective(
@@ -128,10 +182,25 @@ def caching_objective(
 
 # ----------------------------------------------------------------- flow back
 
-def _solve_single_sbs_flow(
-    c: FloatArray, beta: float, cap: int, x0: FloatArray
-) -> tuple[FloatArray, float]:
-    """Min-cost-flow formulation for one SBS.
+@dataclass
+class _FlowTemplate:
+    """A built caching-flow graph, reusable across solves of one shape.
+
+    The arc topology depends only on ``(T, K, cap)``; the dual prices (hold
+    costs) and ``(beta, x0)`` (fetch costs) change between solves, so they
+    are rewritten in place via :meth:`MinCostFlow.set_arc_costs` and the
+    flow rewound with :meth:`MinCostFlow.reset`.
+    """
+
+    graph: MinCostFlow
+    fetch_arcs: "np.ndarray"  # (T, K) arc ids, cost = beta or 0
+    hold_arcs: "np.ndarray"  # (T, K) arc ids, cost = -c[t, k]
+    src: int
+    snk: int
+
+
+def _build_flow_template(T: int, K: int, cap: int) -> _FlowTemplate:
+    """Construct the caching-flow topology with placeholder costs.
 
     Nodes: free-slot hubs ``F_0..F_T`` plus an in/out pair per ``(k, t)``.
     A unit of flow is one cache slot; holding content ``k`` during slot
@@ -139,9 +208,6 @@ def _solve_single_sbs_flow(
     entering from a hub costs ``beta`` (free at ``t=0`` for initially
     cached contents).
     """
-    T, K = c.shape
-    if cap == 0:
-        return np.zeros((T, K)), 0.0
 
     def hub(t: int) -> int:
         return t  # 0..T
@@ -161,22 +227,77 @@ def _solve_single_sbs_flow(
         g.add_arc(hub(t), hub(t + 1), cap, 0.0)
     g.add_arc(hub(T), snk, cap, 0.0)
 
+    fetch_arcs = np.empty((T, K), dtype=np.int64)
     hold_arcs = np.empty((T, K), dtype=np.int64)
     for t in range(T):
         for k in range(K):
-            fetch_cost = 0.0 if (t == 0 and x0[k] > 0.5) else beta
-            g.add_arc(hub(t), node_in(k, t), 1, fetch_cost)
-            hold_arcs[t, k] = g.add_arc(node_in(k, t), node_out(k, t), 1, -float(c[t, k]))
+            fetch_arcs[t, k] = g.add_arc(hub(t), node_in(k, t), 1, 0.0)
+            hold_arcs[t, k] = g.add_arc(node_in(k, t), node_out(k, t), 1, 0.0)
             g.add_arc(node_out(k, t), hub(t + 1), 1, 0.0)
             if t + 1 < T:
                 g.add_arc(node_out(k, t), node_in(k, t + 1), 1, 0.0)
+    return _FlowTemplate(g, fetch_arcs, hold_arcs, src, snk)
 
-    result = g.solve(src, snk, cap, dag=True)
+
+# Templates are checked out under a lock so concurrent thread-executor
+# solves never share a graph; each process has its own pool.
+_TEMPLATE_POOL: dict[tuple[int, int, int], list[_FlowTemplate]] = {}
+_TEMPLATE_LOCK = threading.Lock()
+_TEMPLATE_POOL_LIMIT = 8  # per (T, K, cap); bounds memory under thread fan-out
+
+
+def _acquire_template(T: int, K: int, cap: int) -> _FlowTemplate:
+    with _TEMPLATE_LOCK:
+        pool = _TEMPLATE_POOL.get((T, K, cap))
+        if pool:
+            return pool.pop()
+    return _build_flow_template(T, K, cap)
+
+
+def _release_template(T: int, K: int, cap: int, template: _FlowTemplate) -> None:
+    with _TEMPLATE_LOCK:
+        pool = _TEMPLATE_POOL.setdefault((T, K, cap), [])
+        if len(pool) < _TEMPLATE_POOL_LIMIT:
+            pool.append(template)
+
+
+def _solve_single_sbs_flow(
+    c: FloatArray,
+    beta: float,
+    cap: int,
+    x0: FloatArray,
+    *,
+    reuse: bool | None = None,
+) -> tuple[FloatArray, float]:
+    """Min-cost-flow solve for one SBS (see :func:`_build_flow_template`).
+
+    ``reuse`` pools the built graph across solves of the same shape
+    (default on; ``REPRO_FLOW_REUSE=0`` disables). A reused solve is
+    bit-identical to a fresh-graph solve: the rewound capacities and
+    rewritten costs reproduce the exact graph a fresh build would create.
+    """
+    T, K = c.shape
+    if cap == 0:
+        return np.zeros((T, K)), 0.0
+    if reuse is None:
+        reuse = os.environ.get(FLOW_REUSE_ENV, "1") != "0"
+
+    template = _acquire_template(T, K, cap) if reuse else _build_flow_template(T, K, cap)
+    g = template.graph
+    g.reset()
+    fetch_costs = np.full((T, K), float(beta))
+    fetch_costs[0, np.asarray(x0) > 0.5] = 0.0
+    g.set_arc_costs(template.fetch_arcs, fetch_costs)
+    g.set_arc_costs(template.hold_arcs, -np.asarray(c, dtype=np.float64))
+
+    result = g.solve(template.src, template.snk, cap, dag=True)
+    x = result.arc_flow[template.hold_arcs]
+    if reuse:
+        _release_template(T, K, cap, template)
     if result.amount != cap:
         raise SolverError(
             f"caching flow routed {result.amount}/{cap} units; graph is malformed"
         )
-    x = result.arc_flow[hold_arcs]
     x = np.where(x > 0.5, 1.0, 0.0)
     obj = _objective_single(c, beta, x, x0)
     return x, obj

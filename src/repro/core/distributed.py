@@ -27,6 +27,7 @@ from repro.core.primal_dual import PrimalDualResult, solve_primal_dual
 from repro.core.problem import JointProblem
 from repro.network.costs import CostBreakdown
 from repro.network.topology import Network
+from repro.perf.executor import Executor, resolve_executor
 from repro.scenario import PolicyPlan, Scenario
 from repro.types import DEFAULT_GAP_TOL, FloatArray, IntArray
 
@@ -96,31 +97,46 @@ class DistributedResult:
         return self.cost.total
 
 
+def _solve_sbs_subproblem(
+    task: tuple[JointProblem, int, float, int | None],
+) -> PrimalDualResult:
+    """One SBS controller's local Algorithm 1 run (picklable task)."""
+    sub, max_iter, gap_tol, ub_patience = task
+    return solve_primal_dual(
+        sub, max_iter=max_iter, gap_tol=gap_tol, ub_patience=ub_patience
+    )
+
+
 def solve_distributed(
     problem: JointProblem,
     *,
     max_iter: int = 150,
     gap_tol: float = DEFAULT_GAP_TOL,
     ub_patience: int | None = 25,
+    executor: Executor | str | None = None,
 ) -> DistributedResult:
     """Solve each SBS's subproblem independently and merge.
 
     Every SBS runs Algorithm 1 locally; nothing is exchanged. The merged
     bounds are sums of the local bounds (valid because the objective and
-    constraints are separable).
+    constraints are separable). With an ``executor`` (or ``REPRO_WORKERS``
+    set) the independent controllers run in parallel — they would run on
+    separate machines in a real deployment — and the merge happens in
+    fixed SBS order, so the result is bit-identical to the serial path.
     """
-    T = problem.horizon
     net = problem.network
     x = np.zeros(problem.x_shape)
     y = np.zeros(problem.y_shape)
-    locals_: list[PrimalDualResult] = []
     total_cost = CostBreakdown.zero()
     lower = 0.0
-    for n, (sub, classes) in enumerate(split_by_sbs(problem)):
-        result = solve_primal_dual(
-            sub, max_iter=max_iter, gap_tol=gap_tol, ub_patience=ub_patience
-        )
-        locals_.append(result)
+    parts = split_by_sbs(problem)
+    tasks = [(sub, max_iter, gap_tol, ub_patience) for sub, _ in parts]
+    ex = resolve_executor(executor)
+    if ex.workers > 1 and len(tasks) > 1:
+        locals_ = ex.map(_solve_sbs_subproblem, tasks)
+    else:
+        locals_ = [_solve_sbs_subproblem(task) for task in tasks]
+    for n, (result, (_, classes)) in enumerate(zip(locals_, parts)):
         x[:, n, :] = result.x[:, 0, :]
         y[:, classes, :] = result.y
         total_cost = total_cost + result.cost
@@ -138,11 +154,17 @@ def solve_distributed(
 
 @dataclass(frozen=True)
 class DistributedOfflineOptimal:
-    """Offline optimum computed by independent per-SBS controllers."""
+    """Offline optimum computed by independent per-SBS controllers.
+
+    ``executor`` is a spec string (e.g. ``"process:4"``) rather than an
+    :class:`~repro.perf.Executor` instance so the policy stays picklable
+    for sweep-level fan-out.
+    """
 
     max_iter: int = 150
     gap_tol: float = DEFAULT_GAP_TOL
     ub_patience: int | None = 25
+    executor: str | None = None
 
     @property
     def name(self) -> str:
@@ -154,5 +176,6 @@ class DistributedOfflineOptimal:
             max_iter=self.max_iter,
             gap_tol=self.gap_tol,
             ub_patience=self.ub_patience,
+            executor=self.executor,
         )
         return PolicyPlan(x=result.x, y=result.y, solves=len(result.per_sbs))

@@ -27,11 +27,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import JointProblem
-from repro.exceptions import ConfigurationError, DimensionMismatchError
+from repro.exceptions import DimensionMismatchError
 from repro.network.costs import QuadraticOperatingCost
 from repro.optim.fista import minimize_fista
 from repro.optim.projection import project_halfspace_box_batch
-from repro.types import FloatArray
+from repro.types import FloatArray, IntArray
 
 _BISECTION_ITERS = 26
 
@@ -176,14 +176,39 @@ def _waterfill(
         slope = np.where(lam > 0, mu / lam, np.inf)
     omega_full = np.broadcast_to(omega, caps.shape)
 
+    # The greedy order is re-derived from kappa every fill, but between
+    # late bisection iterations it usually stops changing. The previous
+    # order is kept and reused for every row whose sort keys are already
+    # strictly ascending under it — that check is O(J) per row versus
+    # O(J log J) for the argsort, and reuse is exact: a strictly ascending
+    # row pins the unique sorted order of its eligible items, and
+    # ineligible items (the +inf tail) carry zero capacity, so their
+    # arrangement cannot affect the fill.
+    prev_order: IntArray | None = None
+
     def fill(
         r: FloatArray, *, with_alloc: bool
     ) -> tuple[FloatArray | None, FloatArray]:
+        nonlocal prev_order
         # Benefit per bandwidth unit at residual r; items with non-positive
         # benefit are never routed.
         kappa = 2.0 * scale * r[:, None] * omega[None, :] - slope
         eligible = (kappa > 0) & (caps > 0)
-        order = np.argsort(np.where(eligible, -kappa, np.inf), axis=1, kind="stable")
+        key = np.where(eligible, -kappa, np.inf)
+        order = None
+        if prev_order is not None:
+            seq = np.take_along_axis(key, prev_order, axis=1)
+            lo, hi = seq[:, :-1], seq[:, 1:]
+            sorted_ok = np.all((hi > lo) | (np.isposinf(lo) & np.isposinf(hi)), axis=1)
+            if sorted_ok.all():
+                order = prev_order
+            elif sorted_ok.any():
+                order = prev_order.copy()
+                stale = ~sorted_ok
+                order[stale] = np.argsort(key[stale], axis=1, kind="stable")
+        if order is None:
+            order = np.argsort(key, axis=1, kind="stable")
+        prev_order = order
         caps_sorted = np.take_along_axis(np.where(eligible, caps, 0.0), order, axis=1)
         cum = np.cumsum(caps_sorted, axis=1)
         alloc_sorted = np.clip(bandwidth - (cum - caps_sorted), 0.0, caps_sorted)
@@ -195,9 +220,12 @@ def _waterfill(
         np.put_along_axis(alloc, order, alloc_sorted, axis=1)
         return alloc, u
 
-    if not np.any(slope > 0):
-        # mu == 0 on all demanded items: the fill order (by omega) does not
-        # depend on r, so a single pass at any positive r is exact.
+    if not np.any((slope > 0) & (caps > 0)):
+        # mu == 0 on every item that could be routed (items with zero cap
+        # never receive flow regardless of their slope): the fill order
+        # (by omega) and the eligible set do not depend on r, so a single
+        # pass at any positive r is exact. This is the fixed-cache oracle's
+        # hot path — it skips the bisection entirely.
         alloc, u = fill(np.maximum(W, 1.0), with_alloc=True)
         assert alloc is not None
         return alloc, u

@@ -25,8 +25,9 @@ certifies the same bounds; both are available via ``step``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Literal
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
 
 import numpy as np
 
@@ -35,6 +36,8 @@ from repro.core.load_balancing import solve_p2, solve_y_given_x
 from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
 from repro.network.costs import CostBreakdown
+from repro.perf.executor import Executor, resolve_executor
+from repro.perf.timers import StageTimers
 from repro.types import DEFAULT_GAP_TOL, FloatArray
 
 StepMode = Literal["polyak", "paper"]
@@ -64,6 +67,9 @@ class PrimalDualResult:
         Final multipliers (useful for warm-starting subsequent windows).
     history:
         Per-iteration ``(lower_bound, upper_bound)`` pairs.
+    timings:
+        Wall-clock seconds per solver stage (``p1``, ``p2``, ``repair``,
+        ``total``), from :class:`repro.perf.timers.StageTimers`.
     """
 
     x: FloatArray
@@ -75,6 +81,7 @@ class PrimalDualResult:
     converged: bool
     mu: FloatArray
     history: tuple[tuple[float, float], ...]
+    timings: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def upper_bound(self) -> float:
@@ -93,6 +100,7 @@ def solve_primal_dual(
     mu0: FloatArray | None = None,
     ub_patience: int | None = None,
     initial_candidates: tuple[FloatArray, ...] | None = None,
+    executor: Executor | str | None = None,
 ) -> PrimalDualResult:
     """Run Algorithm 1 on ``problem``.
 
@@ -121,6 +129,11 @@ def solve_primal_dual(
         integral, capacity-feasible) evaluated up-front as incumbent upper
         bounds. Guarantees the returned solution is at least as good as
         every supplied candidate.
+    executor:
+        Parallel-execution strategy for the per-SBS ``P1`` solves — an
+        :class:`repro.perf.Executor`, a spec string (``"process:4"``), or
+        ``None`` to consult ``REPRO_WORKERS`` / ``REPRO_EXECUTOR``.
+        Results are bit-identical across strategies.
     """
     if max_iter <= 0:
         raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
@@ -131,6 +144,9 @@ def solve_primal_dual(
     mu = np.zeros(problem.y_shape) if mu0 is None else np.maximum(mu0, 0.0)
     if mu.shape != problem.y_shape:
         raise ConfigurationError(f"mu0 shape {mu.shape} != {problem.y_shape}")
+    ex = resolve_executor(executor)
+    timers = StageTimers()
+    solve_started = time.perf_counter()
 
     lower_bound = -np.inf
     best_cost: CostBreakdown | None = None
@@ -153,7 +169,8 @@ def solve_primal_dual(
             raise ConfigurationError(
                 f"candidate shape {cx.shape} != {problem.x_shape}"
             )
-        cy = solve_y_given_x(problem, cx).y
+        with timers.stage("repair"):
+            cy = solve_y_given_x(problem, cx).y
         c_cost = problem.cost(cx, cy)
         repair_cache[cx.tobytes()] = (cy, c_cost)
         if best_cost is None or c_cost.total < best_cost.total:
@@ -161,10 +178,16 @@ def solve_primal_dual(
 
     for iteration in range(1, max_iter + 1):
         iterations = iteration
-        caching = solve_caching(
-            problem.network, mu, problem.x_initial, backend=caching_backend
-        )
-        balancing = solve_p2(problem, mu, y0=y_warm)
+        with timers.stage("p1"):
+            caching = solve_caching(
+                problem.network,
+                mu,
+                problem.x_initial,
+                backend=caching_backend,
+                executor=ex,
+            )
+        with timers.stage("p2"):
+            balancing = solve_p2(problem, mu, y0=y_warm)
         y_warm = balancing.y
         dual_value = caching.objective + balancing.objective
         if dual_value > lower_bound + 1e-12 * max(1.0, abs(lower_bound)):
@@ -183,7 +206,8 @@ def solve_primal_dual(
         x_key = caching.x.tobytes()
         cached = repair_cache.get(x_key)
         if cached is None:
-            repaired_y = solve_y_given_x(problem, caching.x).y
+            with timers.stage("repair"):
+                repaired_y = solve_y_given_x(problem, caching.x).y
             candidate = problem.cost(caching.x, repaired_y)
             repair_cache[x_key] = (repaired_y, candidate)
         else:
@@ -224,6 +248,8 @@ def solve_primal_dual(
         mu = np.maximum(mu + delta * subgrad, 0.0)
 
     assert best_cost is not None and best_x is not None and best_y is not None
+    timers.add("total", time.perf_counter() - solve_started)
+    timings = timers.as_dict()
     return PrimalDualResult(
         x=best_x,
         y=best_y,
@@ -234,4 +260,5 @@ def solve_primal_dual(
         converged=converged,
         mu=mu,
         history=tuple(history),
+        timings=timings,
     )

@@ -60,6 +60,7 @@ class MinCostFlow:
         self._cost: list[float] = []
         self._adj: list[list[int]] = [[] for _ in range(num_nodes)]
         self._num_user_arcs = 0
+        self._cap0: list[float] | None = None
 
     def add_arc(self, u: int, v: int, capacity: int, cost: float) -> int:
         """Add an arc ``u -> v`` and return its id (for flow read-back)."""
@@ -67,6 +68,7 @@ class MinCostFlow:
             raise ConfigurationError(f"arc ({u}, {v}) references unknown node")
         if capacity < 0:
             raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self._cap0 = None  # topology changed; the pre-solve snapshot is stale
         arc_id = self._num_user_arcs
         self._adj[u].append(len(self._head))
         self._head.append(v)
@@ -78,6 +80,47 @@ class MinCostFlow:
         self._cost.append(-float(cost))
         self._num_user_arcs += 1
         return arc_id
+
+    # ------------------------------------------------------------ graph reuse
+    #
+    # The caching subproblem solves the same arc topology every subgradient
+    # iteration — only the costs change with the dual prices. These hooks
+    # let callers rebuild costs in place and rewind the flow instead of
+    # reconstructing nodes and arcs for every solve.
+
+    def set_arc_cost(self, arc_id: int, cost: float) -> None:
+        """Replace the cost of user arc ``arc_id`` (and its residual twin)."""
+        if not 0 <= arc_id < self._num_user_arcs:
+            raise ConfigurationError(f"unknown arc id {arc_id}")
+        e = 2 * arc_id
+        c = float(cost)
+        self._cost[e] = c
+        self._cost[e + 1] = -c
+
+    def set_arc_costs(self, arc_ids: "np.ndarray", costs: "np.ndarray") -> None:
+        """Bulk :meth:`set_arc_cost` for flat, same-length id/cost arrays."""
+        ids = np.asarray(arc_ids).reshape(-1)
+        values = np.asarray(costs, dtype=np.float64).reshape(-1)
+        if ids.shape != values.shape:
+            raise ConfigurationError(
+                f"got {ids.size} arc ids but {values.size} costs"
+            )
+        if ids.size and not (0 <= int(ids.min()) and int(ids.max()) < self._num_user_arcs):
+            raise ConfigurationError("arc id out of range")
+        cost_list = self._cost
+        for arc_id, c in zip(ids.tolist(), values.tolist()):
+            e = 2 * arc_id
+            cost_list[e] = c
+            cost_list[e + 1] = -c
+
+    def reset(self) -> None:
+        """Rewind all flow, restoring the capacities seen by the first solve.
+
+        Only valid when no arcs were added since that solve (adding an arc
+        invalidates the snapshot, making this a no-op until the next solve).
+        """
+        if self._cap0 is not None:
+            self._cap[:] = self._cap0
 
     # ------------------------------------------------------------ potentials
 
@@ -167,6 +210,8 @@ class MinCostFlow:
             raise ConfigurationError("source and sink must differ")
         if amount < 0:
             raise ConfigurationError(f"amount must be >= 0, got {amount}")
+        if self._cap0 is None:
+            self._cap0 = list(self._cap)
 
         potentials = (
             self._topological_potentials(source)

@@ -1,0 +1,71 @@
+"""Lightweight stage timers for the solver hot paths.
+
+A :class:`StageTimers` accumulates wall-clock seconds per named stage with
+one ``perf_counter`` pair per measurement — cheap enough to leave on in
+production solves. Algorithm 1 times its ``p1`` / ``p2`` / ``repair``
+stages and surfaces the totals on :class:`~repro.core.primal_dual.
+PrimalDualResult.timings`; the benchmark harness folds the same dicts into
+the machine-readable ``BENCH_*.json`` reports.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+
+class StageTimers:
+    """Accumulate wall-clock time and call counts per named stage."""
+
+    __slots__ = ("_seconds", "_calls")
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+
+    def add(self, stage: str, seconds: float, calls: int = 1) -> None:
+        """Record ``seconds`` of wall-clock time against ``stage``."""
+        self._seconds[stage] = self._seconds.get(stage, 0.0) + float(seconds)
+        self._calls[stage] = self._calls.get(stage, 0) + calls
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block against ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def merge(self, other: "StageTimers | Mapping[str, float]") -> None:
+        """Fold another timer's totals into this one (for reductions)."""
+        if isinstance(other, StageTimers):
+            for name, seconds in other._seconds.items():
+                self.add(name, seconds, other._calls.get(name, 1))
+        else:
+            for name, seconds in other.items():
+                self.add(name, seconds)
+
+    def seconds(self, stage: str) -> float:
+        return self._seconds.get(stage, 0.0)
+
+    def calls(self, stage: str) -> int:
+        return self._calls.get(stage, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage totals in insertion order, ready for JSON serialization."""
+        return dict(self._seconds)
+
+    def report(self) -> str:
+        """One line per stage: ``name  total_s  calls  per_call_ms``."""
+        lines = []
+        for name, total in self._seconds.items():
+            calls = self._calls.get(name, 1)
+            per_call = 1000.0 * total / max(calls, 1)
+            lines.append(f"{name:<12}{total:>10.3f}s{calls:>8}x{per_call:>10.2f}ms")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self._seconds.items())
+        return f"StageTimers({inner})"

@@ -13,10 +13,11 @@ from repro.sim.experiment import (
     window_sweep,
 )
 from repro.sim.runner import run_policies, run_policy
-from repro.sim.report import render_sweep_table, render_headline_table
+from repro.sim.report import render_sweep_table, render_headline_table, sweep_to_dict
 
 __all__ = [
     "RunResult",
+    "sweep_to_dict",
     "SweepPoint",
     "SweepResult",
     "bandwidth_sweep",

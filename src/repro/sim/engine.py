@@ -55,6 +55,9 @@ class RunResult:
         The realized trajectories.
     solves:
         Number of optimization solves the policy performed.
+    wall_time:
+        Wall-clock seconds spent planning + scoring this policy (set by
+        :func:`repro.sim.runner.run_policy`; 0 when not measured).
     """
 
     policy: str
@@ -64,6 +67,7 @@ class RunResult:
     x: FloatArray
     y: FloatArray
     solves: int
+    wall_time: float = 0.0
 
 
 def evaluate_plan(

@@ -24,7 +24,7 @@ the aggregated metrics (mean over the requested seeds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -35,15 +35,24 @@ from repro.core.online.base import OnlineSolveSettings
 from repro.core.online.chc import AFHC, CHC
 from repro.core.online.rhc import RHC
 from repro.exceptions import ConfigurationError
-from repro.network.topology import Network, single_cell_network
+from repro.network.topology import single_cell_network
+from repro.perf.executor import Executor, resolve_executor
 from repro.scenario import CachingPolicy, Scenario
 from repro.sim.engine import EvaluationMode, RunResult
-from repro.sim.runner import run_policies
-from repro.workload.demand import DemandMatrix, paper_demand
+from repro.sim.runner import _run_policy_task
+from repro.workload.demand import paper_demand
 from repro.workload.predictor import PerturbedPredictor
 
 #: Metrics recorded per (sweep value, policy); keys of the metric dicts.
-METRICS = ("total", "bs_cost", "sbs_cost", "replacement", "replacements", "solves")
+METRICS = (
+    "total",
+    "bs_cost",
+    "sbs_cost",
+    "replacement",
+    "replacements",
+    "solves",
+    "wall_time",
+)
 
 
 def paper_scenario(
@@ -208,6 +217,7 @@ def _metrics_of(result: RunResult) -> dict[str, float]:
         "replacement": result.cost.replacement,
         "replacements": float(result.cost.replacements),
         "solves": float(result.solves),
+        "wall_time": result.wall_time,
     }
 
 
@@ -232,37 +242,72 @@ def _run_sweep(
     mode: EvaluationMode,
     verbose: bool,
     invariant: frozenset[str] = frozenset(),
+    executor: Executor | str | None = None,
 ) -> SweepResult:
     """Shared sweep loop.
 
     ``invariant`` names policies whose outcome does not depend on the swept
     parameter (e.g. Offline and LRFU ignore the prediction window and the
     noise level); they are evaluated once per seed and reused.
+
+    The ``(value, seed, policy)`` grid is flattened into independent tasks
+    and run through the executor layer, with scenarios built up-front in
+    the parent process so process pools only ship picklable data. The
+    reduction follows grid order, so the aggregated metrics are identical
+    to a serial run regardless of the executor (``wall_time`` excepted —
+    it is a measurement, not a model output).
     """
-    points = []
-    invariant_cache: dict[tuple[int, str], dict[str, float]] = {}
+    # Per value, per seed: the point's (policy name, task index) layout.
+    layouts: list[list[list[tuple[str, int]]]] = []
+    tasks: list[tuple[Scenario, CachingPolicy, EvaluationMode]] = []
+    labels: list[str] = []
+    invariant_task: dict[tuple[int, str], int] = {}
     for value in values:
-        per_seed = []
+        seed_layout: list[list[tuple[str, int]]] = []
         for seed in seeds:
             scenario = scenario_for(value, seed)
-            if verbose:
-                print(f"[{parameter}={value}] seed={seed}")
-            metrics: dict[str, dict[str, float]] = {}
-            to_run = []
-            order = []
+            entry: list[tuple[str, int]] = []
             for policy in policies_for(value):
-                order.append(policy.name)
-                cached = invariant_cache.get((seed, policy.name))
-                if policy.name in invariant and cached is not None:
-                    metrics[policy.name] = cached
-                else:
-                    to_run.append(policy)
-            results = run_policies(scenario, to_run, mode=mode, verbose=verbose)
-            for name, result in results.items():
-                metrics[name] = _metrics_of(result)
-                if name in invariant:
-                    invariant_cache[(seed, name)] = metrics[name]
-            per_seed.append({name: metrics[name] for name in order})
+                key = (seed, policy.name)
+                idx = invariant_task.get(key) if policy.name in invariant else None
+                if idx is None:
+                    idx = len(tasks)
+                    tasks.append((scenario, policy, mode))
+                    labels.append(f"{parameter}={value:g} seed={seed}")
+                    if policy.name in invariant:
+                        invariant_task[key] = idx
+                entry.append((policy.name, idx))
+            seed_layout.append(entry)
+        layouts.append(seed_layout)
+
+    ex = resolve_executor(executor)
+    if ex.workers > 1 and len(tasks) > 1:
+        outcomes = ex.map(_run_policy_task, tasks)
+        if verbose:
+            for label, result in zip(labels, outcomes):
+                print(
+                    f"[{label}] {result.policy:<16}"
+                    f" total={result.cost.total:12.1f}"
+                    f"  ({result.wall_time:.2f}s)"
+                )
+    else:
+        outcomes = []
+        for label, task in zip(labels, tasks):
+            result = _run_policy_task(task)
+            outcomes.append(result)
+            if verbose:
+                print(
+                    f"[{label}] {result.policy:<16}"
+                    f" total={result.cost.total:12.1f}"
+                    f"  ({result.wall_time:.2f}s)"
+                )
+
+    points = []
+    for value, seed_layout in zip(values, layouts):
+        per_seed = [
+            {name: _metrics_of(outcomes[idx]) for name, idx in entry}
+            for entry in seed_layout
+        ]
         points.append(SweepPoint(value=float(value), metrics=_aggregate(per_seed)))
     return SweepResult(parameter=parameter, points=tuple(points))
 
@@ -276,6 +321,7 @@ def beta_sweep(
     window: int = 10,
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
+    executor: Executor | str | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 2: impact of the cache replacement cost ``beta``.
@@ -294,6 +340,7 @@ def beta_sweep(
         seeds=seeds,
         mode=mode,
         verbose=verbose,
+        executor=executor,
     )
 
 
@@ -303,6 +350,7 @@ def window_sweep(
     seeds: Sequence[int] = (1,),
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
+    executor: Executor | str | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 3: impact of the prediction window ``w`` on the online algorithms."""
@@ -318,6 +366,7 @@ def window_sweep(
         mode=mode,
         verbose=verbose,
         invariant=frozenset({"Offline", "LRFU"}),
+        executor=executor,
     )
 
 
@@ -328,6 +377,7 @@ def bandwidth_sweep(
     window: int = 10,
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
+    executor: Executor | str | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 4: impact of the SBS bandwidth capacity ``B``."""
@@ -342,6 +392,7 @@ def bandwidth_sweep(
         seeds=seeds,
         mode=mode,
         verbose=verbose,
+        executor=executor,
     )
 
 
@@ -352,6 +403,7 @@ def noise_sweep(
     window: int = 10,
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
+    executor: Executor | str | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 5: impact of the prediction perturbation ``eta``.
@@ -371,6 +423,7 @@ def noise_sweep(
         mode=mode,
         verbose=verbose,
         invariant=frozenset({"Offline", "LRFU"}),
+        executor=executor,
     )
 
 
@@ -381,6 +434,7 @@ def headline_comparison(
     window: int = 10,
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
+    executor: Executor | str | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Section V-C(1): the single-point comparison at ``beta = 50``.
@@ -394,5 +448,6 @@ def headline_comparison(
         window=window,
         mode=mode,
         verbose=verbose,
+        executor=executor,
         **scenario_kwargs,
     )

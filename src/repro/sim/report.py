@@ -19,7 +19,32 @@ METRIC_LABELS: Mapping[str, str] = {
     "replacement": "cache replacement cost",
     "replacements": "# cache replacements",
     "solves": "# optimization solves",
+    "wall_time": "wall-clock seconds",
 }
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict:
+    """A sweep as a JSON-serializable dict (for ``BENCH_*.json`` artifacts).
+
+    Layout: ``{"parameter", "values", "policies", "points": [{"value",
+    "metrics": {policy: {metric: float}}}]}`` — everything a plotting or
+    regression-tracking script needs, with plain floats throughout.
+    """
+    return {
+        "parameter": sweep.parameter,
+        "values": [float(v) for v in sweep.values],
+        "policies": sweep.policies,
+        "points": [
+            {
+                "value": float(point.value),
+                "metrics": {
+                    policy: {k: float(v) for k, v in metrics.items()}
+                    for policy, metrics in point.metrics.items()
+                },
+            }
+            for point in sweep.points
+        ],
+    }
 
 
 def render_sweep_table(sweep: SweepResult, metric: str, *, title: str = "") -> str:

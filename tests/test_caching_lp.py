@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.caching_lp import (
-    CachingSolution,
     caching_objective,
     class_prices,
     solve_caching,

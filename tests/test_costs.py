@@ -12,7 +12,6 @@ from repro.network.costs import (
     LinearOperatingCost,
     QuadraticOperatingCost,
     aggregate_bs_load,
-    aggregate_sbs_load,
     bs_operating_cost,
     replacement_cost,
     replacement_count,

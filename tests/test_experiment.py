@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.online.base import OnlineSolveSettings
 from repro.exceptions import ConfigurationError
 from repro.sim.experiment import (
     SweepPoint,

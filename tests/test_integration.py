@@ -30,7 +30,6 @@ from repro.sim.discrete import replay_trace
 from repro.sim.metrics import compute_edge_metrics
 from repro.sim.runner import cost_ratios
 from repro.workload.demand import (
-    DemandMatrix,
     flash_crowd_demand,
     shifting_popularity_demand,
 )

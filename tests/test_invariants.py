@@ -18,7 +18,7 @@ from repro.core.problem import JointProblem
 from repro.network.topology import single_cell_network
 from repro.scenario import Scenario
 from repro.sim.engine import evaluate_plan
-from repro.workload.demand import DemandMatrix, paper_demand
+from repro.workload.demand import paper_demand
 
 
 def _random_scenario(seed: int, **overrides) -> Scenario:

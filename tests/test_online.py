@@ -10,7 +10,7 @@ from repro.core.online import AFHC, CHC, RHC, OnlineSolveSettings
 from repro.core.online.base import shift_mu
 from repro.core.online.fhc import run_fhc_variant
 from repro.exceptions import ConfigurationError
-from repro.scenario import Scenario, validate_plan
+from repro.scenario import validate_plan
 from repro.sim.engine import evaluate_plan
 from repro.workload.predictor import PerfectPredictor
 

@@ -1,0 +1,163 @@
+"""Tests for the shared parallel-execution layer (``repro.perf``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perf.executor import (
+    EXECUTOR_ENV,
+    WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    get_executor,
+    parse_spec,
+    resolve_executor,
+)
+from repro.perf.timers import StageTimers
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _resolved_kind(_item: object) -> str:
+    """What a nested get_executor() resolves to inside a worker."""
+    return get_executor("process:4").kind
+
+
+class TestParseSpec:
+    def test_kind_only(self):
+        assert parse_spec("serial") == ("serial", None)
+        assert parse_spec("thread") == ("thread", None)
+        assert parse_spec("Process") == ("process", None)
+
+    def test_kind_and_count(self):
+        assert parse_spec("process:4") == ("process", 4)
+        assert parse_spec("thread:2") == ("thread", 2)
+
+    @pytest.mark.parametrize("bad", ["fork", "process:zero", "thread:0", ""])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_spec(bad)
+
+
+class TestExecutors:
+    def test_serial_map_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_thread_map_preserves_order(self):
+        with ThreadExecutor(2) as ex:
+            assert ex.map(_square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_process_map_preserves_order(self):
+        with ProcessExecutor(2) as ex:
+            assert ex.map(_square, list(range(8))) == [i * i for i in range(8)]
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_rejects_nonpositive_workers(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(0)
+
+    def test_thread_worker_resolves_serial(self):
+        with ThreadExecutor(2) as ex:
+            kinds = ex.map(_resolved_kind, [None, None])
+        assert kinds == ["serial", "serial"]
+
+    def test_process_worker_resolves_serial(self):
+        with ProcessExecutor(2) as ex:
+            kinds = ex.map(_resolved_kind, [None, None])
+        assert kinds == ["serial", "serial"]
+
+
+class TestSelection:
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+
+    def test_default_is_serial(self):
+        assert get_executor().kind == "serial"
+
+    def test_executor_instance_passes_through(self):
+        ex = SerialExecutor()
+        assert get_executor(ex) is ex
+        assert resolve_executor(ex) is ex
+
+    def test_spec_string(self):
+        ex = get_executor("thread:3")
+        assert ex.kind == "thread" and ex.workers == 3
+
+    def test_spec_serial_short_circuits(self):
+        assert get_executor("serial").kind == "serial"
+        assert get_executor("process:1").kind == "serial"
+
+    def test_workers_env_selects_process(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        ex = get_executor()
+        assert ex.kind == "process" and ex.workers == 3
+
+    def test_executor_env_spec(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "thread:2")
+        ex = get_executor()
+        assert ex.kind == "thread" and ex.workers == 2
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "thread:2")
+        assert get_executor("serial").kind == "serial"
+
+    def test_shared_pool_reused(self):
+        assert get_executor("thread:3") is get_executor("thread:3")
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert default_workers() == 7
+        monkeypatch.setenv(WORKERS_ENV, "x")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+    def test_default_workers_without_env_positive(self):
+        assert default_workers() >= 1
+
+    def test_resolve_none_is_serial(self):
+        ex = resolve_executor(None)
+        assert isinstance(ex, Executor) and ex.kind == "serial"
+
+
+class TestStageTimers:
+    def test_add_and_read(self):
+        t = StageTimers()
+        t.add("p1", 0.5)
+        t.add("p1", 0.25, calls=2)
+        assert t.seconds("p1") == pytest.approx(0.75)
+        assert t.calls("p1") == 3
+        assert t.seconds("missing") == 0.0
+        assert t.calls("missing") == 0
+
+    def test_stage_context_accumulates(self):
+        t = StageTimers()
+        with t.stage("p2"):
+            pass
+        with t.stage("p2"):
+            pass
+        assert t.calls("p2") == 2
+        assert t.seconds("p2") >= 0.0
+
+    def test_merge(self):
+        a, b = StageTimers(), StageTimers()
+        a.add("p1", 1.0)
+        b.add("p1", 2.0)
+        b.add("repair", 0.5)
+        a.merge(b)
+        assert a.seconds("p1") == pytest.approx(3.0)
+        assert a.seconds("repair") == pytest.approx(0.5)
+
+    def test_as_dict_and_report(self):
+        t = StageTimers()
+        t.add("p1", 1.25)
+        d = t.as_dict()
+        assert d == {"p1": pytest.approx(1.25)}
+        assert "p1" in t.report()

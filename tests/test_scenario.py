@@ -6,9 +6,8 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, DimensionMismatchError
-from repro.network.topology import single_cell_network
 from repro.scenario import PolicyPlan, Scenario, validate_plan
-from repro.workload.demand import DemandMatrix, paper_demand
+from repro.workload.demand import paper_demand
 from repro.workload.predictor import PerfectPredictor, PerturbedPredictor
 
 

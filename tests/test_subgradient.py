@@ -23,7 +23,7 @@ class TestStepRules:
 
     def test_paper_rule_decreasing(self):
         rule = paper_step_rule(alpha=0.1)
-        steps = [rule(l) for l in range(1, 20)]
+        steps = [rule(it) for it in range(1, 20)]
         assert all(b < a for a, b in zip(steps, steps[1:]))
 
     def test_constant_rule(self):
@@ -63,8 +63,8 @@ class TestSteps:
         d(mu) = min_x (x^2 + mu(1 - x)) = mu - mu^2/4, optimum mu* = 2."""
         for rule in (paper_step_rule(0.05), sqrt_step_rule(1.0)):
             mu = np.array([0.0])
-            for l in range(1, 400):
+            for it in range(1, 400):
                 x = mu / 2  # argmin of the Lagrangian
                 grad = 1 - x  # subgradient of d at mu
-                mu = subgradient_step(mu, grad, rule(l))
+                mu = subgradient_step(mu, grad, rule(it))
             assert mu[0] == pytest.approx(2.0, abs=0.05)
