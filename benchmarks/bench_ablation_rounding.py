@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.online import CHC, OnlineSolveSettings
+from repro.api import CHC, OnlineSolveSettings, evaluate_plan, paper_scenario
+# Internal by design: this bench ablates the Theorem-3 rounding threshold
+# itself, which is not part of the stable public surface.
 from repro.core.rounding import optimal_rounding_threshold
-from repro.sim.engine import evaluate_plan
-from repro.sim.experiment import paper_scenario
 
 _SETTINGS = OnlineSolveSettings(max_iter=30, gap_tol=2e-3, ub_patience=6)
 

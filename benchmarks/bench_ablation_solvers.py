@@ -20,12 +20,12 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import JointProblem, paper_demand, single_cell_network
+# Internal by design: this bench ablates the P1/P2 solver backends against
+# each other, below the stable public surface.
 from repro.core.caching_lp import FLOW_REUSE_ENV, solve_caching
 from repro.core.load_balancing import _solve_p2_fista, solve_p2
-from repro.core.problem import JointProblem
-from repro.network.topology import single_cell_network
 from repro.optim.linprog import solve_lp
-from repro.workload.demand import paper_demand
 
 
 @pytest.fixture(scope="module")

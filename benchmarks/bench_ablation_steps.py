@@ -9,8 +9,7 @@ choice.
 
 from __future__ import annotations
 
-from repro.core.primal_dual import solve_primal_dual
-from repro.sim.experiment import paper_scenario
+from repro.api import paper_scenario, solve_primal_dual
 
 
 def test_ablation_step_rules(benchmark, bench_scale, save_report, save_json):

@@ -18,8 +18,7 @@ import time
 
 import numpy as np
 
-from repro.sim.experiment import beta_sweep
-from repro.sim.report import render_sweep_table, sweep_to_dict
+from repro.api import beta_sweep, render_sweep_table, sweep_to_dict
 
 _PANELS = ("total", "replacement", "replacements", "bs_cost")
 

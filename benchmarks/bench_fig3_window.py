@@ -12,8 +12,7 @@ import time
 
 import numpy as np
 
-from repro.sim.experiment import window_sweep
-from repro.sim.report import render_sweep_table, sweep_to_dict
+from repro.api import render_sweep_table, sweep_to_dict, window_sweep
 
 
 def test_fig3_window_sweep(benchmark, bench_scale, save_report, save_json):

@@ -13,8 +13,7 @@ import time
 
 import numpy as np
 
-from repro.sim.experiment import bandwidth_sweep
-from repro.sim.report import render_sweep_table, sweep_to_dict
+from repro.api import bandwidth_sweep, render_sweep_table, sweep_to_dict
 
 
 def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report, save_json):

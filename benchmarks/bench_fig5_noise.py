@@ -11,8 +11,7 @@ import time
 
 import numpy as np
 
-from repro.sim.experiment import noise_sweep
-from repro.sim.report import render_sweep_table, sweep_to_dict
+from repro.api import noise_sweep, render_sweep_table, sweep_to_dict
 
 
 def test_fig5_noise_sweep(benchmark, bench_scale, save_report, save_json):

@@ -19,8 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from repro.sim.experiment import METRICS, headline_comparison
-from repro.sim.report import render_headline_table, sweep_to_dict
+from repro.api import headline_comparison, render_headline_table, sweep_to_dict
 
 PARALLEL_WORKERS = 4
 
@@ -28,7 +27,7 @@ PARALLEL_WORKERS = 4
 def _cost_metrics(sweep):
     """All recorded metrics except the timing measurement."""
     return {
-        name: {m: vals[m] for m in METRICS if m != "wall_time"}
+        name: {m: v for m, v in vals.items() if m != "wall_time"}
         for name, vals in sweep.points[0].metrics.items()
     }
 

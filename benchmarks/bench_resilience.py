@@ -1,0 +1,87 @@
+"""Resilience under the acceptance fault scenario.
+
+One SBS outage plus a 50% bandwidth-degradation window (the issue's
+acceptance schedule, scaled to the bench horizon) is injected into the
+paper scenario and run through RHC, CHC, AFHC and LRFU. The bench asserts
+the graceful-degradation contract:
+
+- every faulted trajectory satisfies the *effective* (degraded)
+  constraints exactly — zero violations beyond float tolerance
+  (:func:`repro.api.assert_feasible_under_faults` raises otherwise);
+- faulted cost is never below the fault-free cost of the same policy
+  (faults cannot help) and stays within a sane inflation bound;
+- the degraded run is bit-identical across serial / thread / process
+  executors — fault handling must not break the determinism contract.
+
+The machine-readable record (``BENCH_resilience.json``) carries, per
+policy: total faulted/fault-free cost, cost over the fault-active slots,
+time-to-recover after the last fault ends, the measured worst-case
+constraint slacks, and wall time.
+"""
+
+from __future__ import annotations
+
+from repro.api import (
+    default_fault_schedule,
+    render_resilience_table,
+    run_resilience,
+)
+
+
+def _cost_vector(report):
+    """Per-policy faulted cost numbers (the determinism fingerprint)."""
+    return {
+        row.policy: (
+            row.total_cost,
+            row.cost_under_faults,
+            tuple(report.faulted[row.policy].per_slot_total),
+        )
+        for row in report.policies
+    }
+
+
+def test_resilience_under_faults(benchmark, bench_scale, save_report, save_json):
+    horizon = bench_scale.horizon
+    window = min(5, max(2, horizon // 8))
+    schedule = default_fault_schedule(horizon, bandwidth_factor=0.5)
+    kwargs = dict(
+        horizon=horizon,
+        seed=bench_scale.seeds[0],
+        schedule=schedule,
+        window=window,
+    )
+
+    report = benchmark.pedantic(
+        lambda: run_resilience(**kwargs), rounds=1, iterations=1
+    )
+
+    # Executor invariance: the same faulted run through thread and process
+    # pools must reproduce every per-slot cost bit-for-bit.
+    serial_costs = _cost_vector(report)
+    for executor in ("thread:4", "process:4"):
+        alt = run_resilience(executor=executor, **kwargs)
+        assert _cost_vector(alt) == serial_costs, f"{executor} diverged"
+
+    for row in report.policies:
+        # run_resilience already audited feasibility (raises on violation);
+        # double-check the recorded slacks are within float tolerance.
+        assert all(v <= 1e-6 for v in row.violations.values()), row
+        # Faults cannot reduce cost, and graceful degradation keeps the
+        # inflation bounded (an SBS down ~T/10 slots plus a bandwidth dip
+        # must not double the bill).
+        assert row.total_cost >= row.fault_free_cost * (1 - 1e-9), row
+        assert row.cost_inflation <= 2.0, row
+        assert row.cost_under_faults >= row.fault_free_cost_under_faults * (1 - 1e-9)
+
+    save_report(
+        f"resilience_{bench_scale.name}", render_resilience_table(report)
+    )
+    save_json(
+        "resilience",
+        {
+            "window": window,
+            "seed": bench_scale.seeds[0],
+            "executors_identical": True,
+            **report.to_dict(),
+        },
+    )

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import OfflineOptimal, Scenario
-from repro.network.costs import LinearOperatingCost, QuadraticOperatingCost
-from repro.network.topology import single_cell_network
-from repro.sim.engine import evaluate_plan
-from repro.workload.demand import diurnal_demand
+from repro.api import (
+    LinearOperatingCost,
+    OfflineOptimal,
+    QuadraticOperatingCost,
+    Scenario,
+    diurnal_demand,
+    evaluate_plan,
+    single_cell_network,
+)
 
 
 def main() -> None:

@@ -1,0 +1,58 @@
+"""Fault injection: how gracefully do the controllers degrade?
+
+Injects the acceptance fault scenario — one SBS outage followed by a 50%
+bandwidth-degradation window — into a small paper-style scenario and
+compares the online controllers and LRFU with and without the faults:
+total cost inflation, cost during the fault windows, and how many slots
+each policy needs after the last fault ends to re-join its fault-free
+cost trace.
+
+Run:
+    python examples/fault_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.api import (
+    FaultSchedule,
+    assert_feasible_under_faults,
+    build_scenario,
+    default_fault_schedule,
+    inject_faults,
+    render_resilience_table,
+    run_resilience,
+)
+
+HORIZON = 24
+
+
+def main() -> None:
+    schedule = default_fault_schedule(HORIZON)
+    print("fault schedule:")
+    for event in schedule.events:
+        print(f"  {event}")
+
+    report = run_resilience(
+        build_scenario(seed=1, horizon=HORIZON), schedule, window=5
+    )
+    print()
+    print(render_resilience_table(report))
+
+    # Every faulted trajectory satisfies the *effective* (degraded)
+    # constraints exactly; the audit raises on any violation.
+    faulted = inject_faults(build_scenario(seed=1, horizon=HORIZON), schedule)
+    for name, result in report.faulted.items():
+        slacks = assert_feasible_under_faults(faulted, result.x, result.y)
+        worst = max(slacks.values())
+        print(f"{name}: zero violations (worst slack {worst:.2e})")
+
+    # Schedules are plain data: seedable, composable, JSON round-trippable.
+    randomized = FaultSchedule.random(
+        seed=7, horizon=HORIZON, num_sbs=1, surges=1
+    )
+    print(f"\na seeded random schedule has {len(randomized.events)} events;")
+    print("same seed -> same schedule, so every faulted run is reproducible.")
+
+
+if __name__ == "__main__":
+    main()

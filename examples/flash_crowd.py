@@ -14,11 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import LRFU, RHC, OfflineOptimal, OnlineSolveSettings, Scenario
-from repro.network.topology import single_cell_network
-from repro.sim.engine import evaluate_plan
-from repro.workload.demand import flash_crowd_demand
-from repro.workload.predictor import PerturbedPredictor
+from repro.api import (
+    LRFU,
+    RHC,
+    OfflineOptimal,
+    OnlineSolveSettings,
+    PerturbedPredictor,
+    Scenario,
+    evaluate_plan,
+    flash_crowd_demand,
+    single_cell_network,
+)
 
 CROWD_ITEM = 0
 SURGE_START = 12

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
+from repro.api import (
     LRFU,
     RHC,
     ContentCatalog,
@@ -23,12 +23,12 @@ from repro import (
     Network,
     OfflineOptimal,
     OnlineSolveSettings,
+    PerturbedPredictor,
     Scenario,
     SmallBaseStation,
+    evaluate_plan,
+    paper_demand,
 )
-from repro.sim.engine import evaluate_plan
-from repro.workload.demand import paper_demand
-from repro.workload.predictor import PerturbedPredictor
 
 
 def build_network(rng: np.random.Generator) -> Network:

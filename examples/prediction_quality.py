@@ -11,8 +11,7 @@ Run:
 
 from __future__ import annotations
 
-from repro import noise_sweep, window_sweep
-from repro.sim.report import render_sweep_table
+from repro.api import render_sweep_table, sweep
 
 SCALE = dict(
     horizon=24,
@@ -26,13 +25,13 @@ SCALE = dict(
 
 def main() -> None:
     print("sweeping prediction window w (paper Fig. 3a)...")
-    by_window = window_sweep((2, 4, 6, 8), seeds=(1,), **SCALE)
+    by_window = sweep("window", (2, 4, 6, 8), seeds=(1,), **SCALE)
     print(render_sweep_table(by_window, "total"))
     print()
     print(render_sweep_table(by_window, "replacements"))
 
     print("\nsweeping prediction noise eta (paper Fig. 5)...")
-    by_noise = noise_sweep((0.0, 0.2, 0.4), seeds=(1,), window=6, **SCALE)
+    by_noise = sweep("noise", (0.0, 0.2, 0.4), seeds=(1,), window=6, **SCALE)
     print(render_sweep_table(by_noise, "total"))
 
     print(

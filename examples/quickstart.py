@@ -11,14 +11,13 @@ Run:
 
 from __future__ import annotations
 
-from repro import default_policies, paper_scenario, run_policies
-from repro.sim.runner import cost_ratios
+from repro.api import build_scenario, cost_ratios, default_policies, run_policies
 
 
 def main() -> None:
     # A 30-slot scenario solves in well under a minute; bump horizon=100
     # for the paper's full setting.
-    scenario = paper_scenario(seed=1, horizon=30, beta=50.0)
+    scenario = build_scenario(seed=1, horizon=30, beta=50.0)
     print(
         f"scenario: K={scenario.network.num_items} contents, "
         f"C={scenario.network.cache_sizes[0]} cache slots, "

@@ -14,13 +14,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import LRFU, OfflineOptimal, Scenario
-from repro.network.topology import single_cell_network
-from repro.sim.discrete import replay_trace
-from repro.sim.engine import evaluate_plan
-from repro.sim.metrics import compute_edge_metrics
-from repro.workload.demand import paper_demand
-from repro.workload.trace import sample_poisson_trace
+from repro.api import (
+    LRFU,
+    OfflineOptimal,
+    Scenario,
+    compute_edge_metrics,
+    evaluate_plan,
+    paper_demand,
+    replay_trace,
+    sample_poisson_trace,
+    single_cell_network,
+)
 
 
 def main() -> None:

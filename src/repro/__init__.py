@@ -8,16 +8,23 @@ online controllers RHC / AFHC / CHC with the Theorem-3 rounding policy
 (Section IV), the LRFU baseline, and the full evaluation harness for the
 paper's figures (Section V).
 
+The supported, stability-tested entry point is :mod:`repro.api` — prefer
+``from repro import api`` in new code; this top-level namespace re-exports
+the most common names for convenience.
+
 Quickstart
 ----------
->>> from repro import paper_scenario, default_policies, run_policies
->>> scenario = paper_scenario(seed=1, horizon=20)
->>> results = run_policies(scenario, default_policies(window=5))
+>>> from repro import api
+>>> scenario = api.build_scenario(seed=1, horizon=20)
+>>> results = api.compare_policies(scenario, api.default_policies(window=5))
 >>> sorted(results)  # doctest: +NORMALIZE_WHITESPACE
 ['AFHC(w=5)', 'CHC(w=5,r=2)', 'LRFU', 'Offline', 'RHC(w=5)']
 """
 
+from repro import api
 from repro.baselines import BeladyVolume, FIFO, LFU, LRFU, LRU, NoCache, StaticTopK
+from repro.config import RuntimeConfig
+from repro.faults import FaultSchedule, inject_faults
 from repro.core.distributed import DistributedOfflineOptimal
 from repro.core.offline import OfflineOptimal
 from repro.core.online import AFHC, CHC, RHC, OnlineSolveSettings
@@ -67,6 +74,7 @@ __all__ = [
     "DemandMatrix",
     "DistributedOfflineOptimal",
     "FIFO",
+    "FaultSchedule",
     "JointProblem",
     "LFU",
     "LRFU",
@@ -82,15 +90,18 @@ __all__ = [
     "PrimalDualResult",
     "RHC",
     "RunResult",
+    "RuntimeConfig",
     "Scenario",
     "SmallBaseStation",
     "StaticTopK",
     "SweepResult",
+    "api",
     "bandwidth_sweep",
     "beta_sweep",
     "default_policies",
     "evaluate_plan",
     "headline_comparison",
+    "inject_faults",
     "noise_sweep",
     "paper_demand",
     "paper_scenario",

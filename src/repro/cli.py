@@ -1,43 +1,50 @@
-"""Command-line interface: regenerate any of the paper's figures.
+"""Command-line interface, built on the :mod:`repro.api` facade.
 
 Examples
 --------
 ::
 
-    repro fig2 --betas 0 50 100 --horizon 60 --seeds 1 2
-    repro fig3 --windows 2 4 6 8 10
-    repro fig4
-    repro fig5 --etas 0 0.25 0.5
-    repro headline --beta 50
-    repro demo --horizon 20
+    repro run --beta 50 --horizon 60          # headline comparison point
+    repro sweep --axis beta --values 0 50 100 # Fig. 2
+    repro sweep --axis window                 # Fig. 3
+    repro sweep --axis bandwidth              # Fig. 4
+    repro sweep --axis noise --values 0 0.25  # Fig. 5
+    repro bench --scale quick                 # benchmark suite (BENCH_*.json)
+    repro resilience --horizon 40             # policies under a fault schedule
 
-Each command prints the text tables of the corresponding figure panels
-(see ``repro.sim.report``).
+The pre-redesign commands (``fig2`` ... ``fig5``, ``headline``, ``demo``)
+still work as hidden aliases of ``sweep`` / ``run`` so existing scripts
+keep running; they are simply no longer advertised in ``--help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
-from repro.sim.experiment import (
-    SweepResult,
-    bandwidth_sweep,
-    beta_sweep,
-    headline_comparison,
-    noise_sweep,
-    window_sweep,
-)
-from repro.sim.report import render_headline_table, render_sweep_table
+from repro import api
+
+#: Metrics printed per sweep axis (mirrors the panels of Figs. 2-5).
+_AXIS_METRICS = {
+    "beta": ("total", "replacement", "replacements", "bs_cost"),
+    "window": ("total", "replacements"),
+    "bandwidth": ("total", "replacements"),
+    "noise": ("total",),
+}
+
+#: Legacy figure commands and the axis they alias.
+_LEGACY_AXES = {"fig2": "beta", "fig3": "window", "fig4": "bandwidth", "fig5": "noise"}
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--horizon", type=int, default=100, help="timeslots T")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1], help="random seeds")
     parser.add_argument(
-        "--window", type=int, default=10, help="prediction window w (ignored by fig3)"
+        "--window", type=int, default=10, help="prediction window w (ignored by the window axis)"
     )
     parser.add_argument(
         "--mode",
@@ -54,8 +61,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=None,
-        help="parallel workers for the (point, seed, policy) grid "
-        "(default: serial, or REPRO_WORKERS if set)",
+        help="parallel workers for the (point, seed, policy) grid (default: serial)",
     )
     parser.add_argument(
         "--executor",
@@ -69,26 +75,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         metavar="PATH",
-        help="also write the sweep result as JSON to PATH",
+        help="also write the machine-readable result as JSON to PATH",
     )
     parser.add_argument("--verbose", action="store_true")
 
 
-def _executor_spec(args: argparse.Namespace) -> str | None:
-    """Translate --executor/--workers into an executor spec string."""
-    if args.executor:
-        return args.executor
-    if args.workers is not None:
-        return f"process:{args.workers}" if args.workers > 1 else "serial"
-    return None
+def _runtime_config(args: argparse.Namespace) -> api.RuntimeConfig | None:
+    """Translate --executor/--workers into a :class:`repro.api.RuntimeConfig`."""
+    if args.executor is None and args.workers is None:
+        return None
+    return api.RuntimeConfig(executor=args.executor, workers=args.workers)
 
 
 def _print_sweep(
-    sweep: SweepResult, metrics: Sequence[str], *, chart: bool = False
+    sweep: "api.SweepResult", metrics: Sequence[str], *, chart: bool = False
 ) -> None:
     for metric in metrics:
         print()
-        print(render_sweep_table(sweep, metric))
+        print(api.render_sweep_table(sweep, metric))
         if chart and len(sweep.points) > 1:
             from repro.sim.ascii_chart import render_ascii_chart
 
@@ -96,85 +100,189 @@ def _print_sweep(
             print(render_ascii_chart(sweep, metric))
 
 
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace) -> dict | None:
+    sweep = api.headline_comparison(
+        beta=args.beta,
+        window=args.window,
+        seeds=tuple(args.seeds),
+        mode=args.mode,
+        verbose=args.verbose,
+        horizon=args.horizon,
+        config=_runtime_config(args),
+    )
+    print()
+    print(api.render_headline_table(sweep))
+    return api.sweep_to_dict(sweep)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> dict | None:
+    sweep = api.sweep(
+        args.axis,
+        args.values,
+        seeds=tuple(args.seeds),
+        mode=args.mode,
+        verbose=args.verbose,
+        horizon=args.horizon,
+        config=_runtime_config(args),
+        **({} if args.axis == "window" else {"window": args.window}),
+    )
+    _print_sweep(sweep, _AXIS_METRICS[args.axis], chart=args.chart)
+    return api.sweep_to_dict(sweep)
+
+
+def _cmd_resilience(args: argparse.Namespace) -> dict | None:
+    report = api.run_resilience(
+        horizon=args.horizon,
+        seed=args.seeds[0],
+        window=args.window,
+        mode=args.mode,
+        recover_tol=args.recover_tol,
+        config=_runtime_config(args),
+        verbose=args.verbose,
+    )
+    print()
+    print(api.render_resilience_table(report))
+    return report.to_dict()
+
+
+def _cmd_bench(args: argparse.Namespace) -> dict | None:
+    bench_dir = Path(args.path) if args.path else _default_bench_dir()
+    if bench_dir is None or not bench_dir.is_dir():
+        print(
+            "benchmark suite not found; pass --path <repo>/benchmarks",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    import os
+
+    import pytest
+
+    os.environ["REPRO_BENCH_SCALE"] = args.scale
+    argv = [str(bench_dir), "-q", "-p", "no:cacheprovider"]
+    if args.filter:
+        argv += ["-k", args.filter]
+    code = pytest.main(argv)
+    if code != 0:
+        raise SystemExit(int(code))
+    return None
+
+
+def _default_bench_dir() -> Path | None:
+    """Locate ``benchmarks/`` next to the source tree (src layout checkout)."""
+    for parent in Path(__file__).resolve().parents:
+        candidate = parent / "benchmarks"
+        if (candidate / "conftest.py").is_file():
+            return candidate
+    return None
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduce the figures of 'Joint Online Edge Caching and "
-        "Load Balancing for Mobile Data Offloading in 5G Networks' (ICDCS'19).",
+        description="Reproduce 'Joint Online Edge Caching and Load Balancing "
+        "for Mobile Data Offloading in 5G Networks' (ICDCS'19): headline "
+        "comparison, figure sweeps, benchmarks, and fault resilience.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # metavar hides the legacy aliases from --help while keeping them parseable.
+    sub = parser.add_subparsers(
+        dest="command", required=True, metavar="{run,sweep,bench,resilience}"
+    )
 
-    p2 = sub.add_parser("fig2", help="beta sweep (Fig. 2a-2d)")
-    p2.add_argument(
-        "--betas", type=float, nargs="+", default=[0, 25, 50, 75, 100, 150, 200]
+    pr = sub.add_parser("run", help="headline policy comparison (Section V-C)")
+    pr.add_argument("--beta", type=float, default=50.0)
+    _add_common(pr)
+
+    ps = sub.add_parser("sweep", help="parameter sweep (Figs. 2-5)")
+    ps.add_argument(
+        "--axis", choices=api.SWEEP_AXES, required=True, help="which parameter to sweep"
     )
+    ps.add_argument(
+        "--values",
+        type=float,
+        nargs="+",
+        default=None,
+        help="sweep grid (default: the figure's grid)",
+    )
+    _add_common(ps)
+
+    pb = sub.add_parser("bench", help="run the benchmark suite (BENCH_*.json)")
+    pb.add_argument(
+        "--scale",
+        choices=("quick", "full", "paper"),
+        default="quick",
+        help="benchmark problem scale",
+    )
+    pb.add_argument("--filter", type=str, default=None, help="pytest -k expression")
+    pb.add_argument("--path", type=str, default=None, help="benchmarks directory")
+
+    pz = sub.add_parser(
+        "resilience", help="policies under a seeded fault schedule (outage + degradation)"
+    )
+    pz.add_argument(
+        "--recover-tol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for the recovery test",
+    )
+    _add_common(pz)
+
+    # Hidden legacy aliases (fig2..fig5, headline, demo).
+    p2 = sub.add_parser("fig2")
+    p2.add_argument("--betas", type=float, nargs="+", default=None)
     _add_common(p2)
-
-    p3 = sub.add_parser("fig3", help="prediction-window sweep (Fig. 3a-3b)")
-    p3.add_argument("--windows", type=int, nargs="+", default=[2, 4, 6, 8, 10, 12])
+    p3 = sub.add_parser("fig3")
+    p3.add_argument("--windows", type=int, nargs="+", default=None)
     _add_common(p3)
-
-    p4 = sub.add_parser("fig4", help="SBS bandwidth sweep (Fig. 4a-4b)")
-    p4.add_argument(
-        "--bandwidths", type=float, nargs="+", default=[5, 10, 15, 20, 25, 30]
-    )
+    p4 = sub.add_parser("fig4")
+    p4.add_argument("--bandwidths", type=float, nargs="+", default=None)
     _add_common(p4)
-
-    p5 = sub.add_parser("fig5", help="prediction-noise sweep (Fig. 5)")
-    p5.add_argument(
-        "--etas", type=float, nargs="+", default=[0, 0.1, 0.2, 0.3, 0.4, 0.5]
-    )
+    p5 = sub.add_parser("fig5")
+    p5.add_argument("--etas", type=float, nargs="+", default=None)
     _add_common(p5)
-
-    ph = sub.add_parser("headline", help="Section V-C(1) comparison point")
+    ph = sub.add_parser("headline")
     ph.add_argument("--beta", type=float, default=50.0)
     _add_common(ph)
-
-    pd = sub.add_parser("demo", help="quick small-scale end-to-end run")
+    pd = sub.add_parser("demo")
     _add_common(pd)
 
     args = parser.parse_args(argv)
     started = time.perf_counter()
 
-    common = dict(
-        seeds=tuple(args.seeds),
-        mode=args.mode,
-        verbose=args.verbose,
-        horizon=args.horizon,
-        executor=_executor_spec(args),
-    )
+    command = args.command
+    if command in _LEGACY_AXES:
+        args.axis = _LEGACY_AXES[command]
+        args.values = {
+            "fig2": args.__dict__.get("betas"),
+            "fig3": args.__dict__.get("windows"),
+            "fig4": args.__dict__.get("bandwidths"),
+            "fig5": args.__dict__.get("etas"),
+        }[command]
+        command = "sweep"
+    elif command == "headline":
+        command = "run"
+    elif command == "demo":
+        args.horizon = min(args.horizon, 30)
+        args.window = min(args.window, 5)
+        args.beta = 50.0
+        command = "run"
 
-    if args.command == "fig2":
-        sweep = beta_sweep(args.betas, window=args.window, **common)
-        _print_sweep(sweep, ("total", "replacement", "replacements", "bs_cost"), chart=args.chart)
-    elif args.command == "fig3":
-        sweep = window_sweep(args.windows, **common)
-        _print_sweep(sweep, ("total", "replacements"), chart=args.chart)
-    elif args.command == "fig4":
-        sweep = bandwidth_sweep(args.bandwidths, window=args.window, **common)
-        _print_sweep(sweep, ("total", "replacements"), chart=args.chart)
-    elif args.command == "fig5":
-        sweep = noise_sweep(args.etas, window=args.window, **common)
-        _print_sweep(sweep, ("total",), chart=args.chart)
-    elif args.command == "headline":
-        sweep = headline_comparison(beta=args.beta, window=args.window, **common)
-        print()
-        print(render_headline_table(sweep))
-    elif args.command == "demo":
-        common["horizon"] = min(args.horizon, 30)
-        sweep = headline_comparison(beta=50.0, window=min(args.window, 5), **common)
-        print()
-        print(render_headline_table(sweep))
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "bench": _cmd_bench,
+        "resilience": _cmd_resilience,
+    }
+    payload = handlers[command](args)
 
-    if args.json:
-        import json
-
-        from repro.sim.report import sweep_to_dict
-
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(sweep_to_dict(sweep), fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.json}", file=sys.stderr)
+    if getattr(args, "json", None) and payload is not None:
+        _write_json(args.json, payload)
 
     elapsed = time.perf_counter() - started
     print(f"\ndone in {elapsed:.1f}s", file=sys.stderr)

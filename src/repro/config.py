@@ -1,0 +1,127 @@
+"""Runtime configuration: one typed object instead of scattered env reads.
+
+Historically four environment variables steered the runtime — worker count
+(``REPRO_WORKERS``), executor kind (``REPRO_EXECUTOR``), the ``auto``
+caching-backend pin (``REPRO_CACHING_BACKEND``) and the flow-graph-reuse
+kill switch (``REPRO_FLOW_REUSE``). :class:`RuntimeConfig` replaces them
+with an explicit argument accepted across the library and by every
+:mod:`repro.api` entry point.
+
+Precedence, everywhere a knob is consulted: **explicit argument >
+environment > built-in default**. The environment variables keep working
+as deprecated fallbacks so existing scripts do not break, but each one
+triggers a :class:`DeprecationWarning` the first time it is actually read
+in a process — exactly once per variable, never once per solve.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Deprecated environment fallbacks (see module docstring).
+WORKERS_ENV = "REPRO_WORKERS"
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+BACKEND_ENV = "REPRO_CACHING_BACKEND"
+FLOW_REUSE_ENV = "REPRO_FLOW_REUSE"
+
+_WARNED: set[str] = set()
+
+
+def deprecated_env(name: str) -> str | None:
+    """Read a deprecated environment fallback, warning once per variable.
+
+    Returns ``None`` (silently) when the variable is unset or empty —
+    the warning fires only for users actually relying on the fallback.
+    """
+    value = os.environ.get(name)
+    if not value:
+        return None
+    if name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"{name} is deprecated; pass RuntimeConfig("
+            f"{_FIELD_OF[name]}=...) to the repro.api entry points instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value
+
+
+_FIELD_OF = {
+    WORKERS_ENV: "workers",
+    EXECUTOR_ENV: "executor",
+    BACKEND_ENV: "caching_backend",
+    FLOW_REUSE_ENV: "flow_reuse",
+}
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which fallbacks have warned (test isolation helper)."""
+    _WARNED.clear()
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Explicit runtime knobs for solves, sweeps and benchmarks.
+
+    Every field defaults to ``None`` — "not specified" — in which case the
+    deprecated environment fallback and then the built-in default apply.
+
+    Parameters
+    ----------
+    executor:
+        Executor spec, e.g. ``"serial"``, ``"thread"``, ``"process:4"``
+        (formerly ``REPRO_EXECUTOR``).
+    workers:
+        Worker count for parallel fan-outs (formerly ``REPRO_WORKERS``);
+        overrides a count embedded in ``executor``.
+    caching_backend:
+        Pin for the ``auto`` ``P1`` backend choice: ``"flow"``, ``"lp"``
+        or ``"lp-simplex"`` (formerly ``REPRO_CACHING_BACKEND``). Explicit
+        ``backend=`` arguments at call sites still win.
+    flow_reuse:
+        Whether the flow backend pools built graphs across same-shape
+        solves (formerly ``REPRO_FLOW_REUSE``; default on).
+    """
+
+    executor: str | None = None
+    workers: int | None = None
+    caching_backend: str | None = None
+    flow_reuse: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.caching_backend is not None and self.caching_backend not in (
+            "flow",
+            "lp",
+            "lp-simplex",
+        ):
+            raise ConfigurationError(
+                "caching_backend must be flow, lp, or lp-simplex; "
+                f"got {self.caching_backend!r}"
+            )
+
+
+def resolved_backend_pin(config: RuntimeConfig | None) -> str | None:
+    """The ``auto``-backend pin: config field, else deprecated env, else none."""
+    if config is not None and config.caching_backend is not None:
+        return config.caching_backend
+    env = deprecated_env(BACKEND_ENV)
+    if env is not None and env not in ("flow", "lp", "lp-simplex"):
+        raise ConfigurationError(
+            f"{BACKEND_ENV} must be flow, lp, or lp-simplex; got {env!r}"
+        )
+    return env
+
+
+def resolved_flow_reuse(config: RuntimeConfig | None) -> bool:
+    """Flow-graph reuse: config field, else deprecated env, else on."""
+    if config is not None and config.flow_reuse is not None:
+        return config.flow_reuse
+    env = deprecated_env(FLOW_REUSE_ENV)
+    return env != "0"

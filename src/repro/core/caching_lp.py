@@ -22,7 +22,6 @@ optimum. Two exact backends are provided:
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass
 from typing import Literal
@@ -31,6 +30,13 @@ import numpy as np
 import scipy.optimize
 import scipy.sparse
 
+from repro.config import (
+    BACKEND_ENV,
+    FLOW_REUSE_ENV,
+    RuntimeConfig,
+    resolved_backend_pin,
+    resolved_flow_reuse,
+)
 from repro.exceptions import ConfigurationError, SolverError
 from repro.network.topology import Network
 from repro.optim.linprog import solve_lp
@@ -52,27 +58,20 @@ CachingBackend = Literal["auto", "flow", "lp", "lp-simplex"]
 #: is what callers know cheaply; pin :data:`BACKEND_ENV` to override.
 AUTO_FLOW_LIMIT = 5000
 
-#: Environment override for the ``auto`` backend choice: set
-#: ``REPRO_CACHING_BACKEND=flow|lp|lp-simplex`` to pin the backend without
-#: touching call sites. Explicit ``backend=`` arguments always win.
-BACKEND_ENV = "REPRO_CACHING_BACKEND"
+def resolve_backend(
+    backend: CachingBackend, cells: int, *, config: RuntimeConfig | None = None
+) -> str:
+    """Resolve ``auto``: config pin, deprecated env pin, or the cell rule.
 
-#: Environment kill-switch for the flow-graph template pool
-#: (``REPRO_FLOW_REUSE=0`` rebuilds the graph for every solve).
-FLOW_REUSE_ENV = "REPRO_FLOW_REUSE"
-
-
-def resolve_backend(backend: CachingBackend, cells: int) -> str:
-    """Resolve ``auto`` using :data:`BACKEND_ENV` or the cell-count rule."""
+    Explicit non-``auto`` backends always win. The pin comes from
+    :class:`repro.config.RuntimeConfig` (``caching_backend``) with the
+    deprecated ``REPRO_CACHING_BACKEND`` variable as a fallback.
+    """
     if backend != "auto":
         return backend
-    env = os.environ.get(BACKEND_ENV)
-    if env:
-        if env not in ("flow", "lp", "lp-simplex"):
-            raise ConfigurationError(
-                f"{BACKEND_ENV} must be flow, lp, or lp-simplex; got {env!r}"
-            )
-        return env
+    pin = resolved_backend_pin(config)
+    if pin is not None:
+        return pin
     return "flow" if cells <= AUTO_FLOW_LIMIT else "lp"
 
 
@@ -107,18 +106,22 @@ def solve_caching(
     *,
     backend: CachingBackend = "auto",
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
 ) -> CachingSolution:
     """Solve ``P1`` given multipliers ``mu`` of shape ``(T, M, K)``.
 
     ``x_initial`` is the 0/1 cache state entering the first slot, shape
     ``(N, K)``; insertions in the first slot are charged against it.
 
-    ``P1`` is exactly separable per SBS, so with an ``executor`` (or the
+    ``P1`` is exactly separable per SBS, so with an ``executor`` (or a
+    :class:`repro.config.RuntimeConfig`, or the deprecated
     ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment) the per-SBS solves
     fan out in parallel; results are reduced in SBS order, bit-identical
-    to the serial path.
+    to the serial path. All runtime knobs — including flow-graph reuse —
+    are resolved here in the parent, so worker processes never consult the
+    environment.
     """
-    backend = resolve_backend(backend, mu.shape[0] * network.num_items)
+    backend = resolve_backend(backend, mu.shape[0] * network.num_items, config=config)
     if backend not in ("flow", "lp", "lp-simplex"):
         raise ConfigurationError(f"unknown caching backend {backend!r}")
     if mu.ndim != 3 or mu.shape[1:] != (network.num_classes, network.num_items):
@@ -129,6 +132,7 @@ def solve_caching(
         raise ConfigurationError("dual prices must be non-negative")
     T = mu.shape[0]
     prices = class_prices(network, mu)
+    reuse = resolved_flow_reuse(config)
 
     tasks = [
         (
@@ -137,10 +141,11 @@ def solve_caching(
             int(network.cache_sizes[n]),
             np.asarray(x_initial[n], dtype=np.float64),
             backend,
+            reuse,
         )
         for n in range(network.num_sbs)
     ]
-    ex = resolve_executor(executor)
+    ex = resolve_executor(executor, config=config)
     if ex.workers > 1 and len(tasks) > 1:
         solved = ex.map(_solve_sbs_task, tasks)
     else:
@@ -155,12 +160,12 @@ def solve_caching(
 
 
 def _solve_sbs_task(
-    task: tuple[FloatArray, float, int, FloatArray, str],
+    task: tuple[FloatArray, float, int, FloatArray, str, bool],
 ) -> tuple[FloatArray, float]:
     """One SBS's ``P1`` solve — module-level so process executors can use it."""
-    c, beta, cap, x0, backend = task
+    c, beta, cap, x0, backend, reuse = task
     if backend == "flow":
-        return _solve_single_sbs_flow(c, beta, cap, x0)
+        return _solve_single_sbs_flow(c, beta, cap, x0, reuse=reuse)
     lp_backend = "scipy" if backend == "lp" else "simplex"
     return _solve_single_sbs_lp(c, beta, cap, x0, lp_backend=lp_backend)
 
@@ -272,15 +277,16 @@ def _solve_single_sbs_flow(
     """Min-cost-flow solve for one SBS (see :func:`_build_flow_template`).
 
     ``reuse`` pools the built graph across solves of the same shape
-    (default on; ``REPRO_FLOW_REUSE=0`` disables). A reused solve is
-    bit-identical to a fresh-graph solve: the rewound capacities and
-    rewritten costs reproduce the exact graph a fresh build would create.
+    (default on; ``RuntimeConfig(flow_reuse=False)`` or the deprecated
+    ``REPRO_FLOW_REUSE=0`` disables). A reused solve is bit-identical to a
+    fresh-graph solve: the rewound capacities and rewritten costs
+    reproduce the exact graph a fresh build would create.
     """
     T, K = c.shape
     if cap == 0:
         return np.zeros((T, K)), 0.0
     if reuse is None:
-        reuse = os.environ.get(FLOW_REUSE_ENV, "1") != "0"
+        reuse = resolved_flow_reuse(None)
 
     template = _acquire_template(T, K, cap) if reuse else _build_flow_template(T, K, cap)
     g = template.graph

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.problem import JointProblem
 from repro.exceptions import DimensionMismatchError
 from repro.network.costs import QuadraticOperatingCost
+from repro.optim.budget import SolveBudget
 from repro.optim.fista import minimize_fista
 from repro.optim.projection import project_halfspace_box_batch
 from repro.types import FloatArray, IntArray
@@ -68,13 +69,21 @@ def solve_p2(
     y0: FloatArray | None = None,
     tol: float = 1e-7,
     max_iter: int = 500,
+    budget: SolveBudget | None = None,
 ) -> LoadBalancingSolution:
-    """Solve ``P2`` given multipliers ``mu`` of shape ``(T, M, K)``."""
+    """Solve ``P2`` given multipliers ``mu`` of shape ``(T, M, K)``.
+
+    ``budget`` is the enclosing anytime budget (shared clock): the FISTA
+    fallback stops early once it is exhausted and returns its best feasible
+    iterate. The closed-form fast path ignores it — one pass is exact.
+    """
     if mu.shape != problem.y_shape:
         raise DimensionMismatchError(f"mu shape {mu.shape} != {problem.y_shape}")
     if _uses_fast_path(problem):
         return _solve_p2_fast(problem, mu)
-    return _solve_p2_fista(problem, mu, y0=y0, tol=tol, max_iter=max_iter)
+    return _solve_p2_fista(
+        problem, mu, y0=y0, tol=tol, max_iter=max_iter, budget=budget
+    )
 
 
 def solve_y_given_x(
@@ -84,12 +93,14 @@ def solve_y_given_x(
     y0: FloatArray | None = None,
     tol: float = 1e-8,
     max_iter: int = 1000,
+    budget: SolveBudget | None = None,
 ) -> LoadBalancingSolution:
     """Exact optimal ``y`` for a fixed integral caching trajectory ``x``.
 
     Enforces ``y <= x`` directly; with the paper's costs this is the greedy
     bandwidth fill by descending ``omega`` (a fractional knapsack), solved
-    in closed form for all slots at once.
+    in closed form for all slots at once. ``budget`` caps the FISTA
+    fallback only (the closed form is a single exact pass).
     """
     if x.shape != problem.x_shape:
         raise DimensionMismatchError(f"x shape {x.shape} != {problem.x_shape}")
@@ -97,7 +108,7 @@ def solve_y_given_x(
     if _uses_fast_path(problem):
         return _solve_p2_fast(problem, zero_mu, x_caps=x)
     return _solve_p2_fista(
-        problem, zero_mu, x_caps=x, y0=y0, tol=tol, max_iter=max_iter
+        problem, zero_mu, x_caps=x, y0=y0, tol=tol, max_iter=max_iter, budget=budget
     )
 
 
@@ -268,6 +279,7 @@ def _solve_p2_fista(
     y0: FloatArray | None = None,
     tol: float = 1e-7,
     max_iter: int = 500,
+    budget: SolveBudget | None = None,
 ) -> LoadBalancingSolution:
     """General-case ``P2`` via accelerated projected gradient."""
     net = problem.network
@@ -335,6 +347,7 @@ def _solve_p2_fista(
         start.reshape(-1),
         tol=tol,
         max_iter=max_iter,
+        budget=budget,
     )
     y = result.x.reshape(problem.y_shape)
     return LoadBalancingSolution(y=y, objective=result.objective)

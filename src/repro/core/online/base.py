@@ -7,6 +7,16 @@ inner-solver knobs, and :func:`solve_window` applies them with warm-started
 multipliers, which is what keeps a 100-slot receding-horizon run fast: the
 window shifts by one slot, so the previous window's multipliers (shifted by
 one slot) are an excellent starting point.
+
+When the scenario carries a fault schedule (:mod:`repro.faults`), windows
+are planned against the *effective* network observed at the decision slot —
+the persistence assumption: the currently-observed degradation is assumed
+to last through the window. The installed caches handed to the window
+problem are already evicted-to-fit by the physical system (controllers
+track them with :func:`repro.faults.realize_slot`), and a previous window's
+trajectory can seed the solve as a warm feasible candidate. All of this is
+gated on faults being active, so fault-free runs are bit-identical to the
+original controllers.
 """
 
 from __future__ import annotations
@@ -17,6 +27,11 @@ import numpy as np
 
 from repro.core.caching_lp import CachingBackend
 from repro.core.primal_dual import PrimalDualResult, solve_primal_dual
+from repro.faults.degrade import (
+    degraded_network,
+    evict_trajectory_to_fit,
+    sbs_item_values,
+)
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -39,12 +54,18 @@ class OnlineSolveSettings:
         improved for this many iterations — the committed trajectory is
         the feasible candidate, so chasing the dual certificate further
         buys nothing online.
+    max_seconds:
+        Anytime wall-time cap per window solve; the committed trajectory is
+        then the best feasible one found so far. ``None`` (default) means
+        uncapped. Keeps a degraded or surge-stressed slot from stalling
+        the rest of the horizon.
     """
 
     max_iter: int = 40
     gap_tol: float = 1e-3
     caching_backend: CachingBackend = "auto"
     ub_patience: int | None = 8
+    max_seconds: float | None = None
 
 
 def solve_window(
@@ -55,6 +76,7 @@ def solve_window(
     x_prev: FloatArray,
     settings: OnlineSolveSettings,
     mu_warm: FloatArray | None,
+    x_warm: FloatArray | None = None,
 ) -> PrimalDualResult:
     """Solve one prediction window with Algorithm 1.
 
@@ -62,11 +84,31 @@ def solve_window(
     from ``window_start`` only for the negatively-anchored first solves of
     FHC variants). Slots before 0 or past the trace see zero demand, per
     the paper's convention.
+
+    Under an active fault schedule the window problem is built on the
+    degraded network observed at ``decided_at``, and ``x_warm`` — a
+    previous window's caching trajectory, shifted to this window's slots —
+    is evicted-to-fit the effective capacities and handed to Algorithm 1
+    as a feasible incumbent (warm restart from the last feasible point).
     """
     predicted = scenario.predictor.predict_window(
         max(decided_at, 0), window_start, window
     )
-    problem = scenario.window_problem(predicted, x_prev)
+    faults = scenario.faults
+    network = None
+    candidates: tuple[FloatArray, ...] | None = None
+    if faults is not None and not faults.is_empty:
+        state = faults.state_at(max(decided_at, 0), scenario.network)
+        network = degraded_network(scenario.network, state)
+        if x_warm is not None and x_warm.shape[0] == window:
+            caps_t = np.broadcast_to(
+                state.cache_sizes, (window, scenario.network.num_sbs)
+            )
+            values_t = np.stack(
+                [sbs_item_values(scenario.network, predicted[t]) for t in range(window)]
+            )
+            candidates = (evict_trajectory_to_fit(x_warm, caps_t, values_t),)
+    problem = scenario.window_problem(predicted, x_prev, network=network)
     mu0 = None
     if mu_warm is not None and mu_warm.shape == (window, *predicted.shape[1:]):
         mu0 = mu_warm
@@ -77,6 +119,8 @@ def solve_window(
         caching_backend=settings.caching_backend,
         mu0=mu0,
         ub_patience=settings.ub_patience,
+        initial_candidates=candidates,
+        max_seconds=settings.max_seconds,
     )
 
 
@@ -85,7 +129,9 @@ def shift_mu(mu: FloatArray, shift: int) -> FloatArray:
 
     Used to warm-start the next window: slot ``t`` of the new window
     corresponds to slot ``t + shift`` of the previous one; the final
-    ``shift`` slots reuse the last available multiplier as a prior.
+    ``shift`` slots reuse the last available multiplier as a prior. Works
+    on any per-slot trajectory — the controllers also apply it to caching
+    trajectories when seeding warm candidates under faults.
     """
     if shift <= 0:
         return mu.copy()

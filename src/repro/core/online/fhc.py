@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.horizon import committed_slots, fhc_solve_times
 from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
 from repro.exceptions import ConfigurationError
+from repro.faults.degrade import realize_slot, scenario_states
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -56,7 +57,10 @@ def run_fhc_variant(
     y = np.zeros((T, net.num_classes, net.num_items))
     x_prev = scenario.x_initial
     mu_warm = None
+    x_warm = None
     solves = 0
+    faulted = scenario.faults is not None and not scenario.faults.is_empty
+    states = scenario_states(scenario) if faulted else None
     for tau in fhc_solve_times(variant, commitment, T):
         result = solve_window(
             scenario,
@@ -66,13 +70,22 @@ def run_fhc_variant(
             x_prev=x_prev,
             settings=settings,
             mu_warm=mu_warm,
+            x_warm=x_warm,
         )
         solves += 1
         slots = committed_slots(tau, commitment, T)
         for t in slots:
             x[t] = result.x[t - tau]
             y[t] = result.y[t - tau]
-        if len(slots):
+        if faulted:
+            # Roll the committed block through the physical repairs so the
+            # next solve starts from the caches actually installed.
+            for t in slots:
+                x_prev = realize_slot(
+                    x[t], x_prev, states.slot(t), scenario.demand.rates[t], net
+                )
+            x_warm = shift_mu(result.x, commitment)
+        elif len(slots):
             x_prev = x[slots[-1]]
         mu_warm = shift_mu(result.mu, commitment)
     return FixedHorizonTrajectory(x=x, y=y, solves=solves)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
 from repro.exceptions import ConfigurationError
+from repro.faults.degrade import realize_slot, scenario_states
 from repro.scenario import PolicyPlan, Scenario
 
 
@@ -49,7 +50,10 @@ class RHC:
         y = np.zeros((T, net.num_classes, net.num_items))
         x_prev = scenario.x_initial
         mu_warm = None
+        x_warm = None
         solves = 0
+        faulted = scenario.faults is not None and not scenario.faults.is_empty
+        states = scenario_states(scenario) if faulted else None
         for tau in range(T):
             result = solve_window(
                 scenario,
@@ -59,10 +63,20 @@ class RHC:
                 x_prev=x_prev,
                 settings=self.settings,
                 mu_warm=mu_warm,
+                x_warm=x_warm,
             )
             solves += 1
             x[tau] = result.x[0]
             y[tau] = result.y[0]
-            x_prev = x[tau]
+            if faulted:
+                # Track the caches actually installed (outage freeze +
+                # evict-to-fit) so the next window starts from reality,
+                # and seed it with this window's shifted trajectory.
+                x_prev = realize_slot(
+                    x[tau], x_prev, states.slot(tau), scenario.demand.rates[tau], net
+                )
+                x_warm = shift_mu(result.x, 1)
+            else:
+                x_prev = x[tau]
             mu_warm = shift_mu(result.mu, 1)
         return PolicyPlan(x=x, y=y, solves=solves)

@@ -31,11 +31,13 @@ from typing import Literal, Mapping
 
 import numpy as np
 
+from repro.config import RuntimeConfig
 from repro.core.caching_lp import CachingBackend, solve_caching
 from repro.core.load_balancing import solve_p2, solve_y_given_x
 from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
 from repro.network.costs import CostBreakdown
+from repro.optim.budget import SolveBudget
 from repro.perf.executor import Executor, resolve_executor
 from repro.perf.timers import StageTimers
 from repro.types import DEFAULT_GAP_TOL, FloatArray
@@ -70,6 +72,10 @@ class PrimalDualResult:
     timings:
         Wall-clock seconds per solver stage (``p1``, ``p2``, ``repair``,
         ``total``), from :class:`repro.perf.timers.StageTimers`.
+    stopped_by_budget:
+        Whether an anytime budget (``max_seconds``) ended the loop before
+        convergence; ``(x, y)`` is then the best *feasible* pair found so
+        far and the bounds/gap are still certified.
     """
 
     x: FloatArray
@@ -82,6 +88,7 @@ class PrimalDualResult:
     mu: FloatArray
     history: tuple[tuple[float, float], ...]
     timings: Mapping[str, float] = field(default_factory=dict)
+    stopped_by_budget: bool = False
 
     @property
     def upper_bound(self) -> float:
@@ -101,6 +108,8 @@ def solve_primal_dual(
     ub_patience: int | None = None,
     initial_candidates: tuple[FloatArray, ...] | None = None,
     executor: Executor | str | None = None,
+    max_seconds: float | None = None,
+    config: RuntimeConfig | None = None,
 ) -> PrimalDualResult:
     """Run Algorithm 1 on ``problem``.
 
@@ -134,6 +143,17 @@ def solve_primal_dual(
         :class:`repro.perf.Executor`, a spec string (``"process:4"``), or
         ``None`` to consult ``REPRO_WORKERS`` / ``REPRO_EXECUTOR``.
         Results are bit-identical across strategies.
+    max_seconds:
+        Anytime wall-time cap. Checked after each completed outer
+        iteration, so at least one feasible ``(x, y)`` pair always exists
+        when the cap fires; the result then carries
+        ``stopped_by_budget=True``. The same clock is shared with the
+        FISTA fallback inside ``P2`` so a single slow subproblem cannot
+        blow through the cap.
+    config:
+        Runtime knobs (:class:`repro.config.RuntimeConfig`) consulted when
+        ``executor`` / backend choices are not given explicitly; falls back
+        to the deprecated environment variables.
     """
     if max_iter <= 0:
         raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
@@ -144,9 +164,11 @@ def solve_primal_dual(
     mu = np.zeros(problem.y_shape) if mu0 is None else np.maximum(mu0, 0.0)
     if mu.shape != problem.y_shape:
         raise ConfigurationError(f"mu0 shape {mu.shape} != {problem.y_shape}")
-    ex = resolve_executor(executor)
+    ex = resolve_executor(executor, config=config)
     timers = StageTimers()
     solve_started = time.perf_counter()
+    budget = SolveBudget(max_seconds=max_seconds) if max_seconds is not None else None
+    stopped_by_budget = False
 
     lower_bound = -np.inf
     best_cost: CostBreakdown | None = None
@@ -185,9 +207,10 @@ def solve_primal_dual(
                 problem.x_initial,
                 backend=caching_backend,
                 executor=ex,
+                config=config,
             )
         with timers.stage("p2"):
-            balancing = solve_p2(problem, mu, y0=y_warm)
+            balancing = solve_p2(problem, mu, y0=y_warm, budget=budget)
         y_warm = balancing.y
         dual_value = caching.objective + balancing.objective
         if dual_value > lower_bound + 1e-12 * max(1.0, abs(lower_bound)):
@@ -228,6 +251,9 @@ def solve_primal_dual(
             break
         if ub_patience is not None and since_ub_improved >= ub_patience:
             break
+        if budget is not None and budget.exhausted(iteration):
+            stopped_by_budget = True
+            break
 
         subgrad = balancing.y - caching.x[:, sbs_of, :]
         norm_sq = float(np.sum(subgrad**2))
@@ -261,4 +287,5 @@ def solve_primal_dual(
         mu=mu,
         history=tuple(history),
         timings=timings,
+        stopped_by_budget=stopped_by_budget,
     )

@@ -1,0 +1,61 @@
+"""Fault injection and graceful degradation.
+
+:mod:`repro.faults.schedule` defines the deterministic, seedable
+:class:`FaultSchedule` vocabulary (SBS outages, bandwidth and cache
+degradation windows, demand surges, predictor blackouts);
+:mod:`repro.faults.degrade` turns a schedule into per-slot effective
+network state and repairs plans against it (evict-to-fit, outage freeze,
+stale forecasts) instead of raising.
+
+The stable entry point for callers is :func:`repro.api.inject_faults`.
+"""
+
+from repro.faults.degrade import (
+    StalePredictor,
+    assert_feasible_under_faults,
+    degraded_network,
+    evict_to_fit,
+    evict_trajectory_to_fit,
+    inject_faults,
+    realize_caching,
+    realize_slot,
+    sbs_item_values,
+    scenario_states,
+)
+from repro.faults.schedule import (
+    BandwidthDegradation,
+    CacheDegradation,
+    DemandSurge,
+    FaultEvent,
+    FaultSchedule,
+    FaultStates,
+    PredictorBlackout,
+    SbsOutage,
+    SlotState,
+    schedules_equal,
+    single_outage_with_degradation,
+)
+
+__all__ = [
+    "BandwidthDegradation",
+    "CacheDegradation",
+    "DemandSurge",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultStates",
+    "PredictorBlackout",
+    "SbsOutage",
+    "SlotState",
+    "StalePredictor",
+    "assert_feasible_under_faults",
+    "degraded_network",
+    "evict_to_fit",
+    "evict_trajectory_to_fit",
+    "inject_faults",
+    "realize_caching",
+    "realize_slot",
+    "sbs_item_values",
+    "scenario_states",
+    "schedules_equal",
+    "single_outage_with_degradation",
+]

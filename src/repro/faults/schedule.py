@@ -1,0 +1,495 @@
+"""Deterministic, seedable fault schedules for resilience scenarios.
+
+The paper's model (and the seed reproduction) assumes a static network:
+fixed cache capacities ``C_n``, fixed bandwidths ``B_n``, an SBS that is
+always reachable, and a predictor that always answers. A production edge
+deployment violates every one of those assumptions routinely, so this
+module defines the vocabulary of *faults* the simulation can inject:
+
+- :class:`SbsOutage` — an SBS is unreachable for a window of slots (its
+  bandwidth is effectively 0 and its cache cannot be updated);
+- :class:`BandwidthDegradation` — ``B_n`` is scaled down for a window
+  (backhaul congestion, radio interference);
+- :class:`CacheDegradation` — ``C_n`` is scaled down for a window (disk
+  pressure, partial hardware failure) — installed contents beyond the
+  shrunken capacity must be evicted;
+- :class:`DemandSurge` — true arrival rates are scaled up for a window
+  (flash crowd), *without* the predictor being told;
+- :class:`PredictorBlackout` — the forecasting service is down for a
+  window of decision slots; controllers must act on stale forecasts.
+
+A :class:`FaultSchedule` is an immutable, order-independent collection of
+such events. It is pure data: the same schedule object produces the same
+per-slot effective network state on every run, every backend, and every
+executor — the determinism the resilience benchmark asserts. Schedules are
+either built explicitly or drawn reproducibly via
+:meth:`FaultSchedule.random`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Network
+from repro.types import FloatArray, IntArray
+
+
+def _check_window(start: int, duration: int, what: str) -> None:
+    if start < 0:
+        raise ConfigurationError(f"{what} start must be >= 0, got {start}")
+    if duration <= 0:
+        raise ConfigurationError(f"{what} duration must be positive, got {duration}")
+
+
+def _check_factor(factor: float, what: str, *, lo: float, hi: float) -> None:
+    if not lo <= factor <= hi:
+        raise ConfigurationError(
+            f"{what} factor must be in [{lo:g}, {hi:g}], got {factor}"
+        )
+
+
+@dataclass(frozen=True)
+class SbsOutage:
+    """SBS ``sbs`` is down during slots ``[start, start + duration)``.
+
+    While down, the SBS serves no traffic (effective bandwidth 0) and its
+    cache cannot be written; installed contents survive the outage.
+    """
+
+    sbs: int
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration, "outage")
+        if self.sbs < 0:
+            raise ConfigurationError(f"sbs must be >= 0, got {self.sbs}")
+
+
+@dataclass(frozen=True)
+class BandwidthDegradation:
+    """SBS ``sbs`` retains only ``factor`` of its bandwidth during the window."""
+
+    sbs: int
+    start: int
+    duration: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration, "bandwidth degradation")
+        _check_factor(self.factor, "bandwidth", lo=0.0, hi=1.0)
+        if self.sbs < 0:
+            raise ConfigurationError(f"sbs must be >= 0, got {self.sbs}")
+
+
+@dataclass(frozen=True)
+class CacheDegradation:
+    """SBS ``sbs`` retains only ``floor(factor * C_n)`` cache slots during the window."""
+
+    sbs: int
+    start: int
+    duration: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration, "cache degradation")
+        _check_factor(self.factor, "cache", lo=0.0, hi=1.0)
+        if self.sbs < 0:
+            raise ConfigurationError(f"sbs must be >= 0, got {self.sbs}")
+
+
+@dataclass(frozen=True)
+class DemandSurge:
+    """True arrival rates are multiplied by ``factor`` during the window.
+
+    ``classes`` restricts the surge to specific MU classes (``None`` means
+    all classes). The surge changes the *realized* demand only — predictors
+    built before injection keep forecasting the pre-surge trace, which is
+    exactly the unknown-arrivals stress the related work targets.
+    """
+
+    start: int
+    duration: int
+    factor: float
+    classes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration, "demand surge")
+        if self.factor < 0.0:
+            raise ConfigurationError(f"surge factor must be >= 0, got {self.factor}")
+        if self.classes is not None:
+            object.__setattr__(self, "classes", tuple(int(c) for c in self.classes))
+
+
+@dataclass(frozen=True)
+class PredictorBlackout:
+    """No fresh forecasts during decision slots ``[start, start + duration)``."""
+
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration, "predictor blackout")
+
+
+FaultEvent = (
+    SbsOutage | BandwidthDegradation | CacheDegradation | DemandSurge | PredictorBlackout
+)
+
+
+@dataclass(frozen=True)
+class SlotState:
+    """Effective network parameters of one slot under a fault schedule."""
+
+    cache_sizes: IntArray  # (N,)
+    bandwidths: FloatArray  # (N,)
+    sbs_up: np.ndarray  # (N,) bool
+    predictor_blackout: bool
+
+
+@dataclass(frozen=True)
+class FaultStates:
+    """Vectorized per-slot effective state over a whole horizon.
+
+    Attributes
+    ----------
+    cache_sizes:
+        Effective ``C_n`` per slot, shape ``(T, N)`` (int).
+    bandwidths:
+        Effective ``B_n`` per slot, shape ``(T, N)`` — 0 while down.
+    sbs_up:
+        Reachability mask, shape ``(T, N)`` (bool).
+    demand_factor:
+        Multiplier on true arrivals, shape ``(T, M)``.
+    predictor_blackout:
+        Blackout mask over decision slots, shape ``(T,)`` (bool).
+    """
+
+    cache_sizes: IntArray
+    bandwidths: FloatArray
+    sbs_up: np.ndarray
+    demand_factor: FloatArray
+    predictor_blackout: np.ndarray
+
+    def slot(self, t: int) -> SlotState:
+        return SlotState(
+            cache_sizes=self.cache_sizes[t],
+            bandwidths=self.bandwidths[t],
+            sbs_up=self.sbs_up[t],
+            predictor_blackout=bool(self.predictor_blackout[t]),
+        )
+
+    def segments(self) -> list[tuple[int, int]]:
+        """Maximal runs ``[lo, hi)`` of slots with identical network state.
+
+        Only the quantities that shape the load-balancing solve matter
+        here (bandwidths and reachability); the engine re-solves ``y`` once
+        per segment instead of once per slot.
+        """
+        T = self.bandwidths.shape[0]
+        if T == 0:
+            return []
+        same = np.all(self.bandwidths[1:] == self.bandwidths[:-1], axis=1) & np.all(
+            self.sbs_up[1:] == self.sbs_up[:-1], axis=1
+        )
+        breaks = [0, *list(np.nonzero(~same)[0] + 1), T]
+        return [(breaks[i], breaks[i + 1]) for i in range(len(breaks) - 1)]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of fault events over a horizon.
+
+    The schedule itself is pure data; all effects are derived views
+    (:meth:`states`, :meth:`state_at`, :meth:`demand_factors`). Equality
+    and hashing follow the event tuple, so two schedules built from the
+    same seed compare equal.
+    """
+
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(
+                event,
+                (
+                    SbsOutage,
+                    BandwidthDegradation,
+                    CacheDegradation,
+                    DemandSurge,
+                    PredictorBlackout,
+                ),
+            ):
+                raise ConfigurationError(
+                    f"unknown fault event type {type(event).__name__!r}"
+                )
+
+    # ----------------------------------------------------------------- basics
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __iter__(self) -> Iterable[FaultEvent]:
+        return iter(self.events)
+
+    def extended(self, *events: FaultEvent) -> "FaultSchedule":
+        """A new schedule with ``events`` appended."""
+        return FaultSchedule(self.events + tuple(events))
+
+    def validate(self, network: Network) -> None:
+        """Raise if any event references an SBS or class outside ``network``."""
+        for event in self.events:
+            sbs = getattr(event, "sbs", None)
+            if sbs is not None and sbs >= network.num_sbs:
+                raise ConfigurationError(
+                    f"{type(event).__name__} references SBS {sbs}, "
+                    f"but the network has {network.num_sbs}"
+                )
+            classes = getattr(event, "classes", None)
+            if classes is not None:
+                for c in classes:
+                    if not 0 <= c < network.num_classes:
+                        raise ConfigurationError(
+                            f"DemandSurge references class {c}, "
+                            f"but the network has {network.num_classes}"
+                        )
+
+    # ------------------------------------------------------------ state views
+
+    def states(self, horizon: int, network: Network) -> FaultStates:
+        """The effective per-slot network state over ``horizon`` slots."""
+        self.validate(network)
+        T = int(horizon)
+        N = network.num_sbs
+        M = network.num_classes
+        caps = np.broadcast_to(network.cache_sizes, (T, N)).copy()
+        bw = np.broadcast_to(network.bandwidths, (T, N)).copy()
+        up = np.ones((T, N), dtype=bool)
+        demand_factor = np.ones((T, M))
+        blackout = np.zeros(T, dtype=bool)
+
+        for event in self.events:
+            lo = min(event.start, T)
+            hi = min(event.start + event.duration, T)
+            if lo >= hi:
+                continue
+            if isinstance(event, SbsOutage):
+                up[lo:hi, event.sbs] = False
+            elif isinstance(event, BandwidthDegradation):
+                bw[lo:hi, event.sbs] *= event.factor
+            elif isinstance(event, CacheDegradation):
+                shrunk = int(np.floor(event.factor * network.cache_sizes[event.sbs]))
+                caps[lo:hi, event.sbs] = np.minimum(caps[lo:hi, event.sbs], shrunk)
+            elif isinstance(event, DemandSurge):
+                cols = (
+                    slice(None)
+                    if event.classes is None
+                    else np.asarray(event.classes, dtype=np.int64)
+                )
+                demand_factor[lo:hi, cols] *= event.factor
+            elif isinstance(event, PredictorBlackout):
+                blackout[lo:hi] = True
+
+        bw = np.where(up, bw, 0.0)
+        return FaultStates(
+            cache_sizes=caps.astype(np.int64),
+            bandwidths=bw,
+            sbs_up=up,
+            demand_factor=demand_factor,
+            predictor_blackout=blackout,
+        )
+
+    def state_at(self, t: int, network: Network) -> SlotState:
+        """Effective network state of slot ``t`` (horizon-free convenience)."""
+        return self.states(max(t + 1, 1), network).slot(max(t, 0))
+
+    def demand_factors(self, horizon: int, num_classes: int) -> FloatArray:
+        """Per-slot, per-class surge multipliers, shape ``(T, M)``."""
+        T = int(horizon)
+        factors = np.ones((T, num_classes))
+        for event in self.events:
+            if not isinstance(event, DemandSurge):
+                continue
+            lo = min(event.start, T)
+            hi = min(event.start + event.duration, T)
+            if lo >= hi:
+                continue
+            cols = (
+                slice(None)
+                if event.classes is None
+                else np.asarray(event.classes, dtype=np.int64)
+            )
+            factors[lo:hi, cols] *= event.factor
+        return factors
+
+    def blackout_mask(self, horizon: int) -> np.ndarray:
+        """Per-slot predictor-blackout mask, shape ``(T,)`` (bool)."""
+        mask = np.zeros(int(horizon), dtype=bool)
+        for event in self.events:
+            if isinstance(event, PredictorBlackout):
+                lo = min(event.start, int(horizon))
+                hi = min(event.start + event.duration, int(horizon))
+                mask[lo:hi] = True
+        return mask
+
+    def active_mask(self, horizon: int) -> np.ndarray:
+        """Slots during which *any* fault event is active, shape ``(T,)``."""
+        mask = np.zeros(int(horizon), dtype=bool)
+        for event in self.events:
+            lo = min(event.start, int(horizon))
+            hi = min(event.start + event.duration, int(horizon))
+            mask[lo:hi] = True
+        return mask
+
+    def last_fault_end(self) -> int:
+        """One past the final slot touched by any event (0 when empty)."""
+        return max((e.start + e.duration for e in self.events), default=0)
+
+    # -------------------------------------------------------------- portable
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering (used by the resilience benchmark record)."""
+        return {
+            "events": [
+                {"type": type(event).__name__, **asdict(event)}
+                for event in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSchedule":
+        kinds = {
+            "SbsOutage": SbsOutage,
+            "BandwidthDegradation": BandwidthDegradation,
+            "CacheDegradation": CacheDegradation,
+            "DemandSurge": DemandSurge,
+            "PredictorBlackout": PredictorBlackout,
+        }
+        events = []
+        for entry in payload.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("type")
+            if kind not in kinds:
+                raise ConfigurationError(f"unknown fault event type {kind!r}")
+            if entry.get("classes") is not None:
+                entry["classes"] = tuple(entry["classes"])
+            events.append(kinds[kind](**entry))
+        return cls(tuple(events))
+
+    # ------------------------------------------------------------- generation
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        seed: int,
+        horizon: int,
+        num_sbs: int,
+        num_classes: int | None = None,
+        outages: int = 1,
+        bandwidth_events: int = 1,
+        cache_events: int = 0,
+        surges: int = 0,
+        blackouts: int = 0,
+        max_duration: int | None = None,
+        bandwidth_factor_range: tuple[float, float] = (0.3, 0.8),
+        cache_factor_range: tuple[float, float] = (0.4, 0.8),
+        surge_factor_range: tuple[float, float] = (1.5, 3.0),
+    ) -> "FaultSchedule":
+        """Draw a reproducible schedule: same arguments → identical events.
+
+        Event windows are drawn uniformly over the horizon with durations
+        up to ``max_duration`` (default ``max(2, horizon // 5)``). The
+        stream is keyed only by ``seed`` and the argument values, never by
+        global state, so serial/thread/process runs (and re-runs) see the
+        same schedule.
+        """
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        if num_sbs <= 0:
+            raise ConfigurationError(f"num_sbs must be positive, got {num_sbs}")
+        rng = np.random.default_rng(seed)
+        cap = max_duration if max_duration is not None else max(2, horizon // 5)
+        cap = max(1, min(cap, horizon))
+
+        def window() -> tuple[int, int]:
+            duration = int(rng.integers(1, cap + 1))
+            start = int(rng.integers(0, max(horizon - duration, 0) + 1))
+            return start, duration
+
+        events: list[FaultEvent] = []
+        for _ in range(outages):
+            start, duration = window()
+            events.append(SbsOutage(int(rng.integers(0, num_sbs)), start, duration))
+        for _ in range(bandwidth_events):
+            start, duration = window()
+            factor = float(rng.uniform(*bandwidth_factor_range))
+            events.append(
+                BandwidthDegradation(int(rng.integers(0, num_sbs)), start, duration, factor)
+            )
+        for _ in range(cache_events):
+            start, duration = window()
+            factor = float(rng.uniform(*cache_factor_range))
+            events.append(
+                CacheDegradation(int(rng.integers(0, num_sbs)), start, duration, factor)
+            )
+        for _ in range(surges):
+            start, duration = window()
+            factor = float(rng.uniform(*surge_factor_range))
+            classes: tuple[int, ...] | None = None
+            if num_classes is not None and num_classes > 1 and rng.random() < 0.5:
+                count = int(rng.integers(1, num_classes))
+                classes = tuple(
+                    int(c) for c in rng.choice(num_classes, size=count, replace=False)
+                )
+            events.append(DemandSurge(start, duration, factor, classes))
+        for _ in range(blackouts):
+            start, duration = window()
+            events.append(PredictorBlackout(start, duration))
+        return cls(tuple(events))
+
+
+def single_outage_with_degradation(
+    *,
+    sbs: int = 0,
+    outage_start: int,
+    outage_duration: int,
+    degradation_start: int,
+    degradation_duration: int,
+    bandwidth_factor: float = 0.5,
+) -> FaultSchedule:
+    """The acceptance scenario: one SBS outage plus a bandwidth-drop window."""
+    return FaultSchedule(
+        (
+            SbsOutage(sbs, outage_start, outage_duration),
+            BandwidthDegradation(
+                sbs, degradation_start, degradation_duration, bandwidth_factor
+            ),
+        )
+    )
+
+
+def schedules_equal(a: FaultSchedule, b: FaultSchedule) -> bool:
+    """Structural equality helper (used by the determinism tests)."""
+    return a.events == b.events
+
+
+__all__: Sequence[str] = [
+    "BandwidthDegradation",
+    "CacheDegradation",
+    "DemandSurge",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultStates",
+    "PredictorBlackout",
+    "SbsOutage",
+    "SlotState",
+    "schedules_equal",
+    "single_outage_with_degradation",
+]

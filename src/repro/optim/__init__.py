@@ -12,11 +12,17 @@ here without external solver dependencies:
 - dual subgradient ascent for Algorithm 1's outer loop
   (:mod:`~repro.optim.subgradient`).
 
+Both iterative loops accept an anytime :class:`~repro.optim.budget.SolveBudget`
+(wall-time / iteration caps with best-feasible-iterate fallback), which the
+fault-degradation path uses to guarantee a degraded slot never stalls the
+horizon.
+
 :mod:`~repro.optim.tum` provides the total-unimodularity utilities behind
 Theorem 1, and :mod:`~repro.optim.knapsack` the exact greedy solver for the
 load-balancing problem once the cache is fixed.
 """
 
+from repro.optim.budget import SolveBudget
 from repro.optim.fista import FistaResult, minimize_fista
 from repro.optim.knapsack import fractional_knapsack_offload
 from repro.optim.linprog import LPResult, solve_lp
@@ -35,6 +41,7 @@ __all__ = [
     "LPResult",
     "MinCostFlow",
     "SimplexResult",
+    "SolveBudget",
     "StepRule",
     "constant_step_rule",
     "fractional_knapsack_offload",

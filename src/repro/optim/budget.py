@@ -1,0 +1,64 @@
+"""Anytime solve budgets: iteration / wall-time caps with a feasible fallback.
+
+Both iterative loops in the library — the dual subgradient ascent of
+Algorithm 1 (:mod:`repro.core.primal_dual`) and FISTA
+(:mod:`repro.optim.fista`) — maintain a best-so-far iterate at every step.
+A :class:`SolveBudget` turns that invariant into an *anytime* contract:
+when the budget runs out the loop stops and returns its best iterate
+instead of stalling the caller. The degradation path depends on this — a
+fault-degraded slot must never block the rest of the horizon, so online
+controllers cap each window solve (``OnlineSolveSettings.max_seconds``)
+and always commit the best feasible trajectory found so far.
+
+The clock starts when the budget object is created; derive per-stage
+budgets with :meth:`SolveBudget.remaining_seconds` so nested loops (the
+FISTA solve inside one subgradient iteration) share one deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolveBudget:
+    """A wall-time (and optional iteration) cap for an iterative solver.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock cap; ``None`` means unlimited.
+    max_iter:
+        Iteration cap; ``None`` means unlimited (the loops usually carry
+        their own ``max_iter`` already — this is a second, outer bound).
+    """
+
+    max_seconds: float | None = None
+    max_iter: int | None = None
+    started: float = field(default_factory=time.perf_counter)
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds left, clamped at 0; ``None`` when untimed."""
+        if self.max_seconds is None:
+            return None
+        return max(self.max_seconds - self.elapsed(), 0.0)
+
+    def exhausted(self, iteration: int = 0) -> bool:
+        """True once either cap is hit.
+
+        Callers check this *after* completing an iteration, so at least one
+        iterate always exists — the anytime fallback is never empty.
+        """
+        if self.max_iter is not None and iteration >= self.max_iter:
+            return True
+        if self.max_seconds is not None and self.elapsed() >= self.max_seconds:
+            return True
+        return False
+
+    @classmethod
+    def unlimited(cls) -> "SolveBudget":
+        return cls()

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.optim.budget import SolveBudget
 from repro.types import FloatArray
 
 Objective = Callable[[FloatArray], float]
@@ -37,12 +38,16 @@ class FistaResult:
         Number of outer iterations performed.
     converged:
         Whether the stopping criterion was met before ``max_iter``.
+    stopped_by_budget:
+        Whether an anytime budget cut the loop short; ``x`` is then the
+        best (feasible, since every iterate is projected) point reached.
     """
 
     x: FloatArray
     objective: float
     iterations: int
     converged: bool
+    stopped_by_budget: bool = False
 
 
 def minimize_fista(
@@ -55,6 +60,7 @@ def minimize_fista(
     tol: float = 1e-8,
     max_iter: int = 2000,
     restart: bool = True,
+    budget: SolveBudget | None = None,
 ) -> FistaResult:
     """Minimize a smooth convex ``objective`` over the set defined by ``project``.
 
@@ -76,6 +82,12 @@ def minimize_fista(
     restart:
         Restart the momentum sequence when the objective increases
         (O'Donoghue-Candes adaptive restart).
+    budget:
+        Optional anytime budget: once exhausted (checked after each
+        completed iteration) the loop returns its current — feasible —
+        iterate with ``stopped_by_budget=True`` instead of running to
+        ``max_iter``. Used by the degradation path so a degraded slot can
+        never stall a window solve.
     """
     x = project(np.array(x0, dtype=np.float64))
     z = x.copy()
@@ -86,6 +98,14 @@ def minimize_fista(
         raise SolverError("objective is non-finite at the starting point")
 
     for iteration in range(1, max_iter + 1):
+        if budget is not None and iteration > 1 and budget.exhausted(iteration - 1):
+            return FistaResult(
+                x=x,
+                objective=f_x,
+                iterations=iteration - 1,
+                converged=False,
+                stopped_by_budget=True,
+            )
         grad_z = gradient(z)
         f_z = objective(z)
         # Backtracking: grow L until the quadratic upper bound holds at the

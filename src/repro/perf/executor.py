@@ -12,11 +12,15 @@ the execution strategy is a deployment choice, not an algorithmic one:
 - ``process`` — a shared :class:`~concurrent.futures.ProcessPoolExecutor`
   (the right choice for the CPU-bound pure-Python solver loops).
 
-Selection is by explicit argument or by environment:
+Selection is by explicit argument, by :class:`repro.config.RuntimeConfig`,
+or by the deprecated environment fallbacks (each warns once per process):
 
 - ``REPRO_WORKERS=<n>`` — worker count; ``n > 1`` with no explicit kind
   selects the ``process`` backend.
 - ``REPRO_EXECUTOR=<kind>[:<n>]`` — e.g. ``thread``, ``process:4``.
+
+Precedence: explicit argument > ``RuntimeConfig`` field > environment >
+default (serial).
 
 Determinism contract: :meth:`Executor.map` always returns results in the
 order of its inputs, every task function used with it is pure, and callers
@@ -37,10 +41,9 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from repro.config import EXECUTOR_ENV, WORKERS_ENV, RuntimeConfig, deprecated_env
 from repro.exceptions import ConfigurationError
 
-WORKERS_ENV = "REPRO_WORKERS"
-EXECUTOR_ENV = "REPRO_EXECUTOR"
 _NESTED_ENV = "REPRO_NESTED_WORKER"
 
 _KINDS = ("serial", "thread", "process")
@@ -220,7 +223,7 @@ def _close_shared() -> None:  # pragma: no cover - interpreter shutdown
 
 def default_workers() -> int:
     """Worker count from ``REPRO_WORKERS``, else the usable CPU count."""
-    env = os.environ.get(WORKERS_ENV)
+    env = deprecated_env(WORKERS_ENV)
     if env:
         try:
             return max(1, int(env))
@@ -235,26 +238,36 @@ def default_workers() -> int:
 
 
 def get_executor(
-    spec: "Executor | str | None" = None, *, workers: int | None = None
+    spec: "Executor | str | None" = None,
+    *,
+    workers: int | None = None,
+    config: RuntimeConfig | None = None,
 ) -> Executor:
-    """Resolve an executor from an explicit spec or the environment.
+    """Resolve an executor from an explicit spec, config, or the environment.
 
     Precedence: an :class:`Executor` instance is passed through; a string
-    spec (``"process:4"``) wins over the environment; otherwise
-    ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` decide, defaulting to serial.
-    Inside a worker the result is always serial (no nested pools).
+    spec (``"process:4"``) wins over ``config``, which wins over the
+    deprecated ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` fallbacks; the
+    default is serial. Inside a worker the result is always serial (no
+    nested pools).
     """
     if isinstance(spec, Executor):
         return spec
     if in_worker():
         return _SERIAL
 
+    if config is not None:
+        if spec is None:
+            spec = config.executor
+        if workers is None:
+            workers = config.workers
+
     kind: str | None = None
     spec_workers: int | None = None
     if spec is not None:
         kind, spec_workers = parse_spec(spec)
     else:
-        env_spec = os.environ.get(EXECUTOR_ENV)
+        env_spec = deprecated_env(EXECUTOR_ENV)
         if env_spec:
             kind, spec_workers = parse_spec(env_spec)
 
@@ -271,6 +284,8 @@ def get_executor(
     return _shared_executor(kind, workers)
 
 
-def resolve_executor(executor: "Executor | str | None") -> Executor:
+def resolve_executor(
+    executor: "Executor | str | None", *, config: RuntimeConfig | None = None
+) -> Executor:
     """Normalize the ``executor`` argument accepted across the library."""
-    return get_executor(executor)
+    return get_executor(executor, config=config)

@@ -12,11 +12,14 @@ every policy with the same fixed-cache oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.problem import JointProblem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> scenario)
+    from repro.faults.schedule import FaultSchedule
 from repro.exceptions import ConfigurationError, DimensionMismatchError
 from repro.network.costs import OperatingCost, QuadraticOperatingCost
 from repro.network.topology import Network
@@ -42,6 +45,12 @@ class Scenario:
         convention ``x^t = 0`` for ``t <= 0``).
     bs_cost, sbs_cost:
         Operating-cost shapes (paper defaults: quadratics).
+    faults:
+        Optional fault schedule (SBS outages, capacity/bandwidth
+        degradation windows, …) the engine and controllers consult for the
+        per-slot *effective* network state. Attach one with
+        :func:`repro.api.inject_faults` — it also applies demand surges
+        and wraps the predictor — rather than setting the field directly.
     """
 
     network: Network
@@ -50,6 +59,7 @@ class Scenario:
     x_initial: FloatArray | None = None
     bs_cost: OperatingCost = field(default_factory=QuadraticOperatingCost)
     sbs_cost: OperatingCost = field(default_factory=QuadraticOperatingCost)
+    faults: "FaultSchedule | None" = None
 
     def __post_init__(self) -> None:
         if self.demand.num_classes != self.network.num_classes:
@@ -83,11 +93,20 @@ class Scenario:
         )
 
     def window_problem(
-        self, predicted_demand: FloatArray, x_initial: FloatArray
+        self,
+        predicted_demand: FloatArray,
+        x_initial: FloatArray,
+        *,
+        network: Network | None = None,
     ) -> JointProblem:
-        """A window sub-problem on *predicted* demand (for controllers)."""
+        """A window sub-problem on *predicted* demand (for controllers).
+
+        ``network`` overrides the scenario's network — the degradation
+        path plans windows against the currently observed effective
+        capacities/bandwidths instead of the nominal ones.
+        """
         return JointProblem(
-            network=self.network,
+            network=network if network is not None else self.network,
             demand=predicted_demand,
             x_initial=x_initial,
             bs_cost=self.bs_cost,

@@ -12,11 +12,23 @@ from repro.sim.experiment import (
     paper_scenario,
     window_sweep,
 )
+from repro.sim.resilience import (
+    PolicyResilience,
+    ResilienceReport,
+    default_fault_schedule,
+    render_resilience_table,
+    run_resilience,
+)
 from repro.sim.runner import run_policies, run_policy
 from repro.sim.report import render_sweep_table, render_headline_table, sweep_to_dict
 
 __all__ = [
+    "PolicyResilience",
+    "ResilienceReport",
     "RunResult",
+    "default_fault_schedule",
+    "render_resilience_table",
+    "run_resilience",
     "sweep_to_dict",
     "SweepPoint",
     "SweepResult",

@@ -13,6 +13,17 @@ apples. Two evaluation modes:
   used after a feasibility repair — masked by the installed caches and
   scaled down proportionally wherever the realized bandwidth usage would
   exceed ``B_n``. This scores caching *and* load-balancing decisions.
+
+When the scenario carries a fault schedule (see :mod:`repro.faults`), the
+engine scores plans against the *effective* per-slot network state: planned
+caches are rolled forward with the outage-freeze/evict-to-fit repair
+(:func:`repro.faults.realize_caching`) so the realized trajectory never
+violates a shrunken capacity, and the load balancing is re-solved per
+maximal run of slots with identical effective bandwidths — a down SBS
+therefore serves nothing, and its traffic falls back to the BS. Both
+evaluation modes honor this; the realized ``(x, y)`` in the returned
+:class:`RunResult` always satisfies the effective constraints
+(:func:`repro.faults.assert_feasible_under_faults` audits exactly that).
 """
 
 from __future__ import annotations
@@ -23,7 +34,9 @@ from typing import Literal
 import numpy as np
 
 from repro.core.load_balancing import solve_y_given_x
+from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
+from repro.faults.degrade import realize_caching, scenario_states
 from repro.network.costs import (
     CostBreakdown,
     bs_operating_cost,
@@ -78,19 +91,26 @@ def evaluate_plan(
     mode: EvaluationMode = "reoptimize",
 ) -> RunResult:
     """Score a plan against the scenario's true demand."""
-    validate_plan(scenario, plan)
-    problem = scenario.problem()
-    x = np.where(plan.x > 0.5, 1.0, 0.0)
-
-    if mode == "reoptimize":
-        y = solve_y_given_x(problem, x).y
-    elif mode == "as_decided":
-        if plan.y is None:
-            y = solve_y_given_x(problem, x).y
-        else:
-            y = _repair_decided_y(scenario, x, plan.y)
-    else:
+    if mode not in ("reoptimize", "as_decided"):
         raise ConfigurationError(f"unknown evaluation mode {mode!r}")
+    validate_plan(scenario, plan)
+    faulted = scenario.faults is not None and not scenario.faults.is_empty
+    if faulted:
+        states = scenario_states(scenario)
+        x = realize_caching(
+            plan.x, scenario.x_initial, states, scenario.demand.rates, scenario.network
+        )
+    else:
+        states = None
+        x = np.where(plan.x > 0.5, 1.0, 0.0)
+
+    if mode == "as_decided" and plan.y is not None:
+        bw = states.bandwidths if states is not None else None
+        y = _repair_decided_y(scenario, x, plan.y, bandwidths=bw)
+    elif faulted:
+        y = _solve_y_under_faults(scenario, x, states)
+    else:
+        y = solve_y_given_x(scenario.problem(), x).y
 
     net = scenario.network
     T = scenario.horizon
@@ -121,8 +141,37 @@ def evaluate_plan(
     )
 
 
+def _solve_y_under_faults(scenario: Scenario, x: FloatArray, states) -> FloatArray:
+    """Fixed-cache oracle under per-slot effective bandwidths.
+
+    The solvers assume one bandwidth vector per problem, so the horizon is
+    split into maximal runs of slots with identical effective state (a
+    handful for window-shaped fault schedules) and each run is solved on a
+    correspondingly degraded network. A down SBS has effective bandwidth 0,
+    which forces ``y = 0`` for its classes — the re-route to the BS.
+    """
+    net = scenario.network
+    rates = scenario.demand.rates
+    y = np.zeros((scenario.horizon, net.num_classes, net.num_items))
+    for lo, hi in states.segments():
+        seg_net = net.with_bandwidths([float(b) for b in states.bandwidths[lo]])
+        seg_problem = JointProblem(
+            network=seg_net,
+            demand=rates[lo:hi],
+            x_initial=None,
+            bs_cost=scenario.bs_cost,
+            sbs_cost=scenario.sbs_cost,
+        )
+        y[lo:hi] = solve_y_given_x(seg_problem, x[lo:hi]).y
+    return y
+
+
 def _repair_decided_y(
-    scenario: Scenario, x: FloatArray, y_decided: FloatArray
+    scenario: Scenario,
+    x: FloatArray,
+    y_decided: FloatArray,
+    *,
+    bandwidths: FloatArray | None = None,
 ) -> FloatArray:
     """Make predicted-demand ``y`` feasible under the true demand.
 
@@ -131,16 +180,21 @@ def _repair_decided_y(
     exceeds ``B_n``. Proportional scaling is the minimal projection along
     the ray and never increases the objective relative to any feasible
     scaling, so it does not flatter the online policies.
+
+    ``bandwidths`` overrides the nominal budgets with per-slot effective
+    values, shape ``(T, N)`` — the degradation path: a slot whose SBS is
+    down has budget 0 there, so its whole block scales to zero.
     """
     net = scenario.network
+    budgets = (
+        np.broadcast_to(net.bandwidths[None, :], (scenario.horizon, net.num_sbs))
+        if bandwidths is None
+        else bandwidths
+    )
     y = np.clip(y_decided, 0.0, 1.0) * x[:, net.class_sbs, :]
     load = (scenario.demand.rates * y).sum(axis=2)  # (T, M)
     per_sbs = np.zeros((scenario.horizon, net.num_sbs))
     np.add.at(per_sbs, (slice(None), net.class_sbs), load)
     with np.errstate(divide="ignore", invalid="ignore"):
-        scale = np.where(
-            per_sbs > net.bandwidths[None, :],
-            net.bandwidths[None, :] / per_sbs,
-            1.0,
-        )
+        scale = np.where(per_sbs > budgets, budgets / per_sbs, 1.0)
     return y * scale[:, net.class_sbs, None]

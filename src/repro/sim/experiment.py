@@ -30,6 +30,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.baselines.lrfu import LRFU
+from repro.config import RuntimeConfig
 from repro.core.offline import OfflineOptimal
 from repro.core.online.base import OnlineSolveSettings
 from repro.core.online.chc import AFHC, CHC
@@ -39,7 +40,7 @@ from repro.network.topology import single_cell_network
 from repro.perf.executor import Executor, resolve_executor
 from repro.scenario import CachingPolicy, Scenario
 from repro.sim.engine import EvaluationMode, RunResult
-from repro.sim.runner import _run_policy_task
+from repro.sim.runner import _run_policy_task, _stable_names
 from repro.workload.demand import paper_demand
 from repro.workload.predictor import PerturbedPredictor
 
@@ -141,34 +142,6 @@ def default_policies(
     return policies
 
 
-@dataclass(frozen=True)
-class _RenamedPolicy:
-    """Present a policy under a stable display name.
-
-    Sweeps that vary a policy parameter (e.g. the window ``w``) embed the
-    parameter in the default names, which would make series keys differ
-    across sweep points; this adapter pins the key.
-    """
-
-    inner: CachingPolicy
-    display: str
-
-    @property
-    def name(self) -> str:
-        return self.display
-
-    def plan(self, scenario: Scenario):
-        return self.inner.plan(scenario)
-
-
-def _stable_names(policies: Iterable[CachingPolicy]) -> list[CachingPolicy]:
-    """Strip parameter suffixes: ``RHC(w=10)`` -> ``RHC`` etc."""
-    return [
-        _RenamedPolicy(p, p.name.split("(")[0]) if "(" in p.name else p
-        for p in policies
-    ]
-
-
 # --------------------------------------------------------------------- sweep
 
 @dataclass(frozen=True)
@@ -243,6 +216,7 @@ def _run_sweep(
     verbose: bool,
     invariant: frozenset[str] = frozenset(),
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
 ) -> SweepResult:
     """Shared sweep loop.
 
@@ -280,7 +254,7 @@ def _run_sweep(
             seed_layout.append(entry)
         layouts.append(seed_layout)
 
-    ex = resolve_executor(executor)
+    ex = resolve_executor(executor, config=config)
     if ex.workers > 1 and len(tasks) > 1:
         outcomes = ex.map(_run_policy_task, tasks)
         if verbose:
@@ -322,6 +296,7 @@ def beta_sweep(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 2: impact of the cache replacement cost ``beta``.
@@ -341,6 +316,7 @@ def beta_sweep(
         mode=mode,
         verbose=verbose,
         executor=executor,
+        config=config,
     )
 
 
@@ -351,6 +327,7 @@ def window_sweep(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 3: impact of the prediction window ``w`` on the online algorithms."""
@@ -367,6 +344,7 @@ def window_sweep(
         verbose=verbose,
         invariant=frozenset({"Offline", "LRFU"}),
         executor=executor,
+        config=config,
     )
 
 
@@ -378,6 +356,7 @@ def bandwidth_sweep(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 4: impact of the SBS bandwidth capacity ``B``."""
@@ -393,6 +372,7 @@ def bandwidth_sweep(
         mode=mode,
         verbose=verbose,
         executor=executor,
+        config=config,
     )
 
 
@@ -404,6 +384,7 @@ def noise_sweep(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Fig. 5: impact of the prediction perturbation ``eta``.
@@ -424,6 +405,7 @@ def noise_sweep(
         verbose=verbose,
         invariant=frozenset({"Offline", "LRFU"}),
         executor=executor,
+        config=config,
     )
 
 
@@ -435,6 +417,7 @@ def headline_comparison(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
     **scenario_kwargs: object,
 ) -> SweepResult:
     """Section V-C(1): the single-point comparison at ``beta = 50``.
@@ -449,5 +432,6 @@ def headline_comparison(
         mode=mode,
         verbose=verbose,
         executor=executor,
+        config=config,
         **scenario_kwargs,
     )

@@ -15,6 +15,10 @@ layer:
 - **churn rate** — cache insertions per slot per SBS;
 - **fairness** — Jain's index over per-class offload ratios (do a few
   lucky classes get all the edge service?).
+
+The resilience benchmark adds two fault-centric indicators
+(:func:`cost_under_faults`, :func:`time_to_recover`) comparing a faulted
+run's per-slot cost trace against the same policy's fault-free trace.
 """
 
 from __future__ import annotations
@@ -53,6 +57,52 @@ class EdgeMetrics:
             f"churn={self.churn_per_slot:.2f}/slot "
             f"fairness={self.offload_fairness:.2f}"
         )
+
+
+def cost_under_faults(per_slot_total: FloatArray, active_mask: np.ndarray) -> float:
+    """Realized cost summed over the slots during which any fault is active."""
+    per_slot_total = np.asarray(per_slot_total, dtype=np.float64)
+    active = np.asarray(active_mask, dtype=bool)
+    if per_slot_total.shape != active.shape:
+        raise DimensionMismatchError(
+            f"per-slot costs {per_slot_total.shape} vs mask {active.shape}"
+        )
+    return float(per_slot_total[active].sum())
+
+
+def time_to_recover(
+    per_slot_total: FloatArray,
+    baseline_per_slot: FloatArray,
+    recover_from: int,
+    *,
+    rel_tol: float = 0.05,
+) -> int | None:
+    """Slots after ``recover_from`` until the faulted cost trace re-joins baseline.
+
+    The faulted run has "recovered" at the first slot ``t >= recover_from``
+    whose realized cost is within ``rel_tol`` (relative) of the fault-free
+    baseline at the same slot; the returned value is ``t - recover_from``
+    (0 = recovered immediately when the faults ended). ``None`` means the
+    trace never re-joins the baseline within the horizon — e.g. a
+    fault-time eviction that keeps costing re-fetches to the end.
+    """
+    per_slot_total = np.asarray(per_slot_total, dtype=np.float64)
+    baseline = np.asarray(baseline_per_slot, dtype=np.float64)
+    if per_slot_total.shape != baseline.shape:
+        raise DimensionMismatchError(
+            f"per-slot costs {per_slot_total.shape} vs baseline {baseline.shape}"
+        )
+    T = per_slot_total.shape[0]
+    start = max(int(recover_from), 0)
+    if start >= T:
+        return 0
+    tail = per_slot_total[start:]
+    base_tail = baseline[start:]
+    ok = tail <= base_tail + rel_tol * np.maximum(np.abs(base_tail), 1.0)
+    hits = np.nonzero(ok)[0]
+    if hits.size == 0:
+        return None
+    return int(hits[0])
 
 
 def jain_index(values: FloatArray) -> float:

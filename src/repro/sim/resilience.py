@@ -1,0 +1,225 @@
+"""Resilience experiment: cost and recovery of policies under faults.
+
+The acceptance scenario of the fault-injection runtime is one seeded
+fault schedule — an SBS outage followed by a bandwidth-degradation
+window — run through the online controllers and the LRFU baseline.
+:func:`run_resilience` executes each policy twice on the *same* scenario,
+once fault-free and once with the schedule injected, then derives three
+resilience indicators per policy:
+
+- **cost under faults** — realized cost summed over the slots any fault
+  was active (:func:`repro.sim.metrics.cost_under_faults`);
+- **time to recover** — slots after the last fault ends until the faulted
+  per-slot cost trace re-joins the fault-free trace
+  (:func:`repro.sim.metrics.time_to_recover`);
+- **constraint violations** — worst-case slacks of the realized
+  trajectories against the *effective* (degraded) constraints, audited by
+  :func:`repro.faults.assert_feasible_under_faults`. A run that violates
+  any effective constraint raises instead of reporting.
+
+Everything in the report is JSON-able (``report.to_dict()``), which is
+what ``benchmarks/bench_resilience.py`` persists as ``BENCH_resilience``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.config import RuntimeConfig
+from repro.faults import FaultSchedule, inject_faults, single_outage_with_degradation
+from repro.faults.degrade import assert_feasible_under_faults
+from repro.perf.executor import Executor
+from repro.scenario import CachingPolicy, Scenario
+from repro.sim.engine import EvaluationMode, RunResult
+from repro.sim.experiment import default_policies, paper_scenario
+from repro.sim.metrics import cost_under_faults, time_to_recover
+from repro.sim.runner import run_policies
+
+
+def default_fault_schedule(horizon: int, *, bandwidth_factor: float = 0.5) -> FaultSchedule:
+    """The acceptance fault schedule, scaled to ``horizon``.
+
+    One SBS outage in the second quarter of the horizon, then a bandwidth
+    drop to ``bandwidth_factor`` starting at mid-horizon; each lasts a
+    tenth of the horizon (at least two slots).
+    """
+    span = max(2, horizon // 10)
+    return single_outage_with_degradation(
+        sbs=0,
+        outage_start=horizon // 4,
+        outage_duration=span,
+        degradation_start=horizon // 2,
+        degradation_duration=span,
+        bandwidth_factor=bandwidth_factor,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyResilience:
+    """Resilience indicators of one policy (faulted vs. fault-free run)."""
+
+    policy: str
+    total_cost: float
+    fault_free_cost: float
+    cost_under_faults: float
+    fault_free_cost_under_faults: float
+    time_to_recover: int | None
+    violations: Mapping[str, float]
+    wall_time: float
+
+    @property
+    def cost_inflation(self) -> float:
+        """Total-cost ratio of the faulted run to the fault-free run."""
+        if self.fault_free_cost <= 0:
+            return float("nan")
+        return self.total_cost / self.fault_free_cost
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "total_cost": self.total_cost,
+            "fault_free_cost": self.fault_free_cost,
+            "cost_inflation": self.cost_inflation,
+            "cost_under_faults": self.cost_under_faults,
+            "fault_free_cost_under_faults": self.fault_free_cost_under_faults,
+            "time_to_recover": self.time_to_recover,
+            "violations": dict(self.violations),
+            "wall_time": self.wall_time,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Full outcome of :func:`run_resilience` (JSON-able via ``to_dict``)."""
+
+    schedule: FaultSchedule
+    horizon: int
+    mode: EvaluationMode
+    policies: tuple[PolicyResilience, ...]
+    faulted: Mapping[str, RunResult]
+    fault_free: Mapping[str, RunResult]
+
+    def to_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "mode": self.mode,
+            "schedule": self.schedule.to_dict(),
+            "policies": [p.to_dict() for p in self.policies],
+        }
+
+
+def run_resilience(
+    scenario: Scenario | None = None,
+    schedule: FaultSchedule | None = None,
+    policies: Iterable[CachingPolicy] | None = None,
+    *,
+    horizon: int = 40,
+    seed: int = 1,
+    window: int = 5,
+    mode: EvaluationMode = "reoptimize",
+    recover_tol: float = 0.05,
+    executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
+    verbose: bool = False,
+) -> ResilienceReport:
+    """Run policies with and without faults; report degradation and recovery.
+
+    Parameters
+    ----------
+    scenario:
+        A *fault-free* scenario; defaults to the paper scenario at
+        ``horizon`` / ``seed``. Must not already carry a fault schedule.
+    schedule:
+        Fault schedule to inject; defaults to
+        :func:`default_fault_schedule` for the scenario's horizon.
+    policies:
+        Defaults to the online controllers plus LRFU (no offline solver —
+        clairvoyant offline planning is not meaningful under unannounced
+        faults).
+    recover_tol:
+        Relative tolerance for the recovery test (see
+        :func:`repro.sim.metrics.time_to_recover`).
+
+    Every faulted trajectory is audited against the effective (degraded)
+    constraints; a violation raises ``ConfigurationError``.
+    """
+    if scenario is None:
+        scenario = paper_scenario(seed=seed, horizon=horizon)
+    if scenario.faults is not None and not scenario.faults.is_empty:
+        raise ValueError(
+            "run_resilience needs the fault-free scenario; pass the schedule "
+            "separately instead of a pre-injected scenario"
+        )
+    if schedule is None:
+        schedule = default_fault_schedule(scenario.horizon)
+    if policies is None:
+        policies = default_policies(window=window, include_offline=False)
+    policy_list = list(policies)
+    faulted_scenario = inject_faults(scenario, schedule)
+
+    if verbose:
+        print(f"fault-free baseline ({len(policy_list)} policies):")
+    baseline = run_policies(
+        scenario, policy_list, mode=mode, verbose=verbose,
+        executor=executor, config=config,
+    )
+    if verbose:
+        print("faulted run:")
+    faulted = run_policies(
+        faulted_scenario, policy_list, mode=mode, verbose=verbose,
+        executor=executor, config=config,
+    )
+
+    active = schedule.active_mask(scenario.horizon)
+    fault_end = schedule.last_fault_end()
+    rows = []
+    for name, result in faulted.items():
+        violations = assert_feasible_under_faults(
+            faulted_scenario, result.x, result.y
+        )
+        base = baseline[name]
+        rows.append(
+            PolicyResilience(
+                policy=name,
+                total_cost=result.cost.total,
+                fault_free_cost=base.cost.total,
+                cost_under_faults=cost_under_faults(result.per_slot_total, active),
+                fault_free_cost_under_faults=cost_under_faults(
+                    base.per_slot_total, active
+                ),
+                time_to_recover=time_to_recover(
+                    result.per_slot_total,
+                    base.per_slot_total,
+                    fault_end,
+                    rel_tol=recover_tol,
+                ),
+                violations=violations,
+                wall_time=result.wall_time,
+            )
+        )
+    return ResilienceReport(
+        schedule=schedule,
+        horizon=scenario.horizon,
+        mode=mode,
+        policies=tuple(rows),
+        faulted=faulted,
+        fault_free=baseline,
+    )
+
+
+def render_resilience_table(report: ResilienceReport) -> str:
+    """Fixed-width text table of a resilience report."""
+    header = (
+        f"{'policy':<12} {'faulted':>12} {'fault-free':>12} {'inflation':>10} "
+        f"{'under-fault':>12} {'recover':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in report.policies:
+        recover = "never" if row.time_to_recover is None else f"{row.time_to_recover}"
+        lines.append(
+            f"{row.policy:<12} {row.total_cost:>12.1f} "
+            f"{row.fault_free_cost:>12.1f} {row.cost_inflation:>10.3f} "
+            f"{row.cost_under_faults:>12.1f} {recover:>8}"
+        )
+    return "\n".join(lines)

@@ -4,17 +4,70 @@ Policy evaluations on one scenario are independent of each other, so
 :func:`run_policies` can fan them out through the shared executor layer
 (:mod:`repro.perf.executor`). Results are reduced in the order the
 policies were given, bit-identical to a serial run.
+
+Result dicts are keyed by policy name. Duplicate names (two ``RHC``
+instances with different windows, say) would silently collapse into one
+entry, so :func:`run_policies` de-duplicates them up front with the same
+renaming adapter the sweeps use — ``RHC``, ``RHC#2``, ``RHC#3`` — and keys
+the serial and parallel branches identically.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
+from repro.config import RuntimeConfig
 from repro.perf.executor import Executor, resolve_executor
-from repro.scenario import CachingPolicy, Scenario
+from repro.scenario import CachingPolicy, PolicyPlan, Scenario
 from repro.sim.engine import EvaluationMode, RunResult, evaluate_plan
+
+
+@dataclass(frozen=True)
+class _RenamedPolicy:
+    """Present a policy under a stable display name.
+
+    Sweeps that vary a policy parameter (e.g. the window ``w``) embed the
+    parameter in the default names, which would make series keys differ
+    across sweep points; this adapter pins the key. :func:`run_policies`
+    also uses it to de-duplicate colliding names.
+    """
+
+    inner: CachingPolicy
+    display: str
+
+    @property
+    def name(self) -> str:
+        return self.display
+
+    def plan(self, scenario: Scenario) -> PolicyPlan:
+        return self.inner.plan(scenario)
+
+
+def _stable_names(policies: Iterable[CachingPolicy]) -> list[CachingPolicy]:
+    """Strip parameter suffixes: ``RHC(w=10)`` -> ``RHC`` etc."""
+    return [
+        _RenamedPolicy(p, p.name.split("(")[0]) if "(" in p.name else p
+        for p in policies
+    ]
+
+
+def _unique_names(policies: list[CachingPolicy]) -> list[CachingPolicy]:
+    """Suffix repeated display names (``LRFU``, ``LRFU#2``, ...).
+
+    Keeps every policy's result addressable — without this, a results dict
+    keyed by name silently drops all but the last duplicate.
+    """
+    counts: dict[str, int] = {}
+    out: list[CachingPolicy] = []
+    for policy in policies:
+        n = counts.get(policy.name, 0) + 1
+        counts[policy.name] = n
+        out.append(
+            policy if n == 1 else _RenamedPolicy(policy, f"{policy.name}#{n}")
+        )
+    return out
 
 
 def run_policy(
@@ -50,33 +103,29 @@ def run_policies(
     mode: EvaluationMode = "reoptimize",
     verbose: bool = False,
     executor: Executor | str | None = None,
+    config: RuntimeConfig | None = None,
 ) -> dict[str, RunResult]:
     """Run several policies on the same scenario; keyed by policy name.
 
-    With an ``executor`` (or ``REPRO_WORKERS`` set) the policies run in
-    parallel; the result dict is always in input-policy order.
+    With an ``executor`` (or a :class:`repro.config.RuntimeConfig`, or the
+    deprecated ``REPRO_WORKERS`` environment) the policies run in
+    parallel. The result dict is always in input-policy order and always
+    has one entry per policy: colliding names are suffixed (``LRFU``,
+    ``LRFU#2``) instead of silently dropping results.
     """
-    policy_list = list(policies)
-    ex = resolve_executor(executor)
+    policy_list = _unique_names(list(policies))
+    ex = resolve_executor(executor, config=config)
     if ex.workers > 1 and len(policy_list) > 1:
         outcomes = ex.map(
             _run_policy_task, [(scenario, p, mode) for p in policy_list]
         )
-        if verbose:
-            for result in outcomes:
-                print(
-                    f"  {result.policy:<16} total={result.cost.total:12.1f}"
-                    f"  ({result.wall_time:.2f}s)"
-                )
-        return {result.policy: result for result in outcomes}
-
-    results: dict[str, RunResult] = {}
-    for policy in policy_list:
-        results[policy.name] = run_policy(scenario, policy, mode=mode)
-        if verbose:
-            result = results[policy.name]
+    else:
+        outcomes = [run_policy(scenario, p, mode=mode) for p in policy_list]
+    results = {p.name: r for p, r in zip(policy_list, outcomes)}
+    if verbose:
+        for result in results.values():
             print(
-                f"  {policy.name:<16} total={result.cost.total:12.1f}"
+                f"  {result.policy:<16} total={result.cost.total:12.1f}"
                 f"  ({result.wall_time:.2f}s)"
             )
     return results

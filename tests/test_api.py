@@ -1,0 +1,152 @@
+"""The public-API stability contract of :mod:`repro.api`.
+
+``repro.api.__all__`` is the supported surface: removing or renaming a
+name there is a breaking change and must update the snapshot below
+*deliberately*. Internal module layout is free to move as long as the
+facade keeps resolving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.exceptions import ConfigurationError
+
+#: The supported public surface. Additions append here; removals are
+#: breaking changes. Keep sorted.
+PUBLIC_API = [
+    "AFHC",
+    "BandwidthDegradation",
+    "BaseStation",
+    "BeladyVolume",
+    "CHC",
+    "CacheDegradation",
+    "CachingPolicy",
+    "ContentCatalog",
+    "CostBreakdown",
+    "DemandMatrix",
+    "DemandSurge",
+    "DistributedOfflineOptimal",
+    "EdgeMetrics",
+    "FIFO",
+    "FaultSchedule",
+    "JointProblem",
+    "LFU",
+    "LRFU",
+    "LRU",
+    "LinearOperatingCost",
+    "MUClass",
+    "Network",
+    "NoCache",
+    "OfflineOptimal",
+    "OnlineSolveSettings",
+    "PerfectPredictor",
+    "PerturbedPredictor",
+    "PolicyPlan",
+    "PolicyResilience",
+    "PredictorBlackout",
+    "PrimalDualResult",
+    "QuadraticOperatingCost",
+    "RHC",
+    "ResilienceReport",
+    "RunResult",
+    "RuntimeConfig",
+    "SWEEP_AXES",
+    "SbsOutage",
+    "Scenario",
+    "SmallBaseStation",
+    "SolveBudget",
+    "StaticTopK",
+    "SweepResult",
+    "assert_feasible_under_faults",
+    "bandwidth_sweep",
+    "beta_sweep",
+    "build_scenario",
+    "compare_policies",
+    "compute_edge_metrics",
+    "cost_ratios",
+    "default_fault_schedule",
+    "default_policies",
+    "diurnal_demand",
+    "evaluate_plan",
+    "flash_crowd_demand",
+    "headline_comparison",
+    "inject_faults",
+    "noise_sweep",
+    "paper_demand",
+    "paper_scenario",
+    "render_headline_table",
+    "render_resilience_table",
+    "render_sweep_table",
+    "replay_trace",
+    "run_policies",
+    "run_policy",
+    "run_resilience",
+    "sample_poisson_trace",
+    "single_cell_network",
+    "single_outage_with_degradation",
+    "solve_primal_dual",
+    "sweep",
+    "sweep_to_dict",
+    "window_sweep",
+]
+
+
+class TestPublicSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(api.__all__) == PUBLIC_API
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_no_duplicates(self):
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_star_import_is_clean(self):
+        namespace: dict = {}
+        exec("from repro.api import *", namespace)
+        assert set(PUBLIC_API) <= set(namespace)
+
+
+class TestFacadeFunctions:
+    def test_build_scenario_is_paper_scenario(self):
+        a = api.build_scenario(seed=3, horizon=4)
+        b = api.paper_scenario(seed=3, horizon=4)
+        assert a.horizon == b.horizon == 4
+        assert (a.demand.rates == b.demand.rates).all()
+
+    def test_compare_policies_defaults_and_keys(self):
+        scenario = api.build_scenario(seed=1, horizon=4)
+        results = api.compare_policies(
+            scenario, [api.LRFU(), api.NoCache()]
+        )
+        assert set(results) == {"LRFU", "NoCache"}
+        for result in results.values():
+            assert result.cost.total > 0
+
+    def test_compare_policies_deduplicates_names(self):
+        scenario = api.build_scenario(seed=1, horizon=3)
+        results = api.compare_policies(scenario, [api.LRFU(), api.LRFU()])
+        assert set(results) == {"LRFU", "LRFU#2"}
+
+    def test_sweep_dispatch(self):
+        result = api.sweep(
+            "noise", [0.0, 0.3], horizon=3, seeds=(1,), window=2
+        )
+        assert [p.value for p in result.points] == [0.0, 0.3]
+
+    def test_sweep_window_axis_casts_to_int(self):
+        result = api.sweep("window", [2.0, 3.0], horizon=3, seeds=(1,))
+        assert [p.value for p in result.points] == [2, 3]
+
+    def test_sweep_unknown_axis(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+            api.sweep("zipf")
+
+    def test_doctests(self):
+        import doctest
+
+        failures, _ = doctest.testmod(api)
+        assert failures == 0

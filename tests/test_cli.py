@@ -42,3 +42,79 @@ class TestCli:
         )
         assert code == 0
         assert "vs Offline" in capsys.readouterr().out
+
+
+class TestRedesignedCli:
+    def test_run(self, capsys):
+        code = main(["run", "--beta", "10", "--horizon", "5", "--window", "2"])
+        assert code == 0
+        assert "vs Offline" in capsys.readouterr().out
+
+    def test_sweep_axis_noise(self, capsys):
+        code = main(
+            [
+                "sweep", "--axis", "noise", "--values", "0", "0.4",
+                "--horizon", "5", "--window", "2",
+            ]
+        )
+        assert code == 0
+        assert "total operating cost vs eta" in capsys.readouterr().out
+
+    def test_sweep_axis_window_casts_int(self, capsys):
+        code = main(
+            ["sweep", "--axis", "window", "--values", "2", "3", "--horizon", "5"]
+        )
+        assert code == 0
+        assert "vs window" in capsys.readouterr().out
+
+    def test_sweep_requires_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--horizon", "5"])
+
+    def test_resilience(self, capsys, tmp_path):
+        out = tmp_path / "resilience.json"
+        code = main(
+            [
+                "resilience", "--horizon", "8", "--window", "3",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        assert "recover" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["schedule"]["events"]
+        assert all("violations" in p for p in payload["policies"])
+
+    def test_json_output_for_sweep(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "fig5", "--etas", "0", "--horizon", "4", "--window", "2",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        import json
+
+        assert json.loads(out.read_text())["points"]
+
+    def test_legacy_aliases_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "resilience" in out
+        assert "fig2" not in out
+
+    def test_workers_flag_builds_runtime_config(self, capsys):
+        # --workers routes through RuntimeConfig, not the deprecated env.
+        code = main(
+            [
+                "run", "--beta", "10", "--horizon", "4", "--window", "2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "vs Offline" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""RuntimeConfig precedence and the deprecated environment fallbacks."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.config import (
+    BACKEND_ENV,
+    EXECUTOR_ENV,
+    FLOW_REUSE_ENV,
+    WORKERS_ENV,
+    RuntimeConfig,
+    deprecated_env,
+    reset_deprecation_warnings,
+    resolved_backend_pin,
+    resolved_flow_reuse,
+)
+from repro.exceptions import ConfigurationError
+from repro.perf.executor import get_executor
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Isolate each test from ambient env vars and the warn-once registry."""
+    for name in (WORKERS_ENV, EXECUTOR_ENV, BACKEND_ENV, FLOW_REUSE_ENV):
+        monkeypatch.delenv(name, raising=False)
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestRuntimeConfig:
+    def test_defaults_are_unspecified(self):
+        config = RuntimeConfig()
+        assert config.executor is None
+        assert config.workers is None
+        assert config.caching_backend is None
+        assert config.flow_reuse is None
+
+    def test_validates_workers(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            RuntimeConfig(workers=0)
+
+    def test_validates_backend(self):
+        with pytest.raises(ConfigurationError, match="caching_backend"):
+            RuntimeConfig(caching_backend="magic")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RuntimeConfig().workers = 2  # type: ignore[misc]
+
+
+class TestExecutorPrecedence:
+    def test_default_is_serial(self):
+        assert get_executor().kind == "serial"
+
+    def test_config_selects_executor(self):
+        ex = get_executor(config=RuntimeConfig(executor="thread:3"))
+        assert (ex.kind, ex.workers) == ("thread", 3)
+
+    def test_config_workers_alone_selects_process(self):
+        ex = get_executor(config=RuntimeConfig(workers=2))
+        assert (ex.kind, ex.workers) == ("process", 2)
+
+    def test_explicit_spec_beats_config(self):
+        ex = get_executor("thread:2", config=RuntimeConfig(executor="process:5"))
+        assert (ex.kind, ex.workers) == ("thread", 2)
+
+    def test_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "process:5")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # config path must not touch env
+            ex = get_executor(config=RuntimeConfig(executor="thread:2"))
+        assert (ex.kind, ex.workers) == ("thread", 2)
+
+    def test_env_fallback_still_works(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "thread:4")
+        with pytest.warns(DeprecationWarning, match=EXECUTOR_ENV):
+            ex = get_executor()
+        assert (ex.kind, ex.workers) == ("thread", 4)
+
+
+class TestBackendAndFlowReuse:
+    def test_backend_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "lp")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolved_backend_pin(RuntimeConfig(caching_backend="flow")) == "flow"
+
+    def test_backend_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "lp")
+        with pytest.warns(DeprecationWarning, match=BACKEND_ENV):
+            assert resolved_backend_pin(None) == "lp"
+
+    def test_backend_env_validated(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "magic")
+        with pytest.raises(ConfigurationError):
+            with pytest.warns(DeprecationWarning):
+                resolved_backend_pin(None)
+
+    def test_flow_reuse_default_on(self):
+        assert resolved_flow_reuse(None) is True
+
+    def test_flow_reuse_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FLOW_REUSE_ENV, "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolved_flow_reuse(RuntimeConfig(flow_reuse=True)) is True
+
+    def test_flow_reuse_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(FLOW_REUSE_ENV, "0")
+        with pytest.warns(DeprecationWarning, match=FLOW_REUSE_ENV):
+            assert resolved_flow_reuse(None) is False
+
+
+class TestWarnOnce:
+    def test_each_variable_warns_exactly_once(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            deprecated_env(WORKERS_ENV)
+            deprecated_env(WORKERS_ENV)
+            deprecated_env(WORKERS_ENV)
+        ours = [w for w in caught if WORKERS_ENV in str(w.message)]
+        assert len(ours) == 1
+        assert "RuntimeConfig(workers=...)" in str(ours[0].message)
+
+    def test_unset_variable_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert deprecated_env(WORKERS_ENV) is None
+
+    def test_distinct_variables_warn_independently(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        monkeypatch.setenv(FLOW_REUSE_ENV, "1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            deprecated_env(WORKERS_ENV)
+            deprecated_env(FLOW_REUSE_ENV)
+        messages = sorted(str(w.message).split(" ")[0] for w in caught)
+        assert messages == [FLOW_REUSE_ENV, WORKERS_ENV]

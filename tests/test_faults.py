@@ -1,0 +1,185 @@
+"""Fault schedules, graceful degradation, and determinism under faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LRFU
+from repro.core.online import RHC, OnlineSolveSettings
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    BandwidthDegradation,
+    DemandSurge,
+    FaultSchedule,
+    PredictorBlackout,
+    SbsOutage,
+    assert_feasible_under_faults,
+    evict_to_fit,
+    inject_faults,
+    schedules_equal,
+    single_outage_with_degradation,
+)
+from repro.sim.experiment import paper_scenario
+from repro.sim.resilience import default_fault_schedule, run_resilience
+from repro.sim.runner import run_policies, run_policy
+
+SETTINGS = OnlineSolveSettings(max_iter=30)
+
+
+def _tiny_scenario(horizon: int = 8, seed: int = 1):
+    return paper_scenario(seed=seed, horizon=horizon)
+
+
+def _acceptance_schedule(horizon: int = 8) -> FaultSchedule:
+    return single_outage_with_degradation(
+        sbs=0,
+        outage_start=2,
+        outage_duration=2,
+        degradation_start=5,
+        degradation_duration=2,
+        bandwidth_factor=0.5,
+    )
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.random(seed=7, horizon=50, num_sbs=3, num_classes=4)
+        b = FaultSchedule.random(seed=7, horizon=50, num_sbs=3, num_classes=4)
+        assert schedules_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = FaultSchedule.random(seed=7, horizon=50, num_sbs=3, num_classes=4)
+        b = FaultSchedule.random(seed=8, horizon=50, num_sbs=3, num_classes=4)
+        assert not schedules_equal(a, b)
+
+    def test_dict_round_trip(self):
+        schedule = FaultSchedule.random(
+            seed=3, horizon=40, num_sbs=2, num_classes=3, surges=1, blackouts=1
+        )
+        assert schedules_equal(
+            FaultSchedule.from_dict(schedule.to_dict()), schedule
+        )
+
+    def test_masks(self):
+        schedule = _acceptance_schedule()
+        active = schedule.active_mask(8)
+        assert list(np.nonzero(active)[0]) == [2, 3, 5, 6]
+        assert schedule.last_fault_end() == 7
+
+
+class TestInjectFaults:
+    def test_double_injection_rejected(self):
+        scenario = inject_faults(_tiny_scenario(), _acceptance_schedule())
+        with pytest.raises(ConfigurationError, match="already carries"):
+            inject_faults(scenario, _acceptance_schedule())
+
+    def test_surge_scales_true_demand_not_forecast(self):
+        scenario = _tiny_scenario()
+        schedule = FaultSchedule(
+            (DemandSurge(start=2, duration=2, factor=2.0),)
+        )
+        faulted = inject_faults(scenario, schedule)
+        ratio = faulted.demand.rates[2] / scenario.demand.rates[2]
+        assert np.allclose(ratio[scenario.demand.rates[2] > 0], 2.0)
+        # The predictor keeps forecasting the pre-surge trace.
+        predicted = faulted.predictor.predict_window(2, 2, 1)
+        base = scenario.predictor.predict_window(2, 2, 1)
+        assert np.allclose(predicted, base)
+
+    def test_blackout_walks_back_to_last_fresh_slot(self):
+        scenario = _tiny_scenario()
+        schedule = FaultSchedule((PredictorBlackout(start=3, duration=2),))
+        faulted = inject_faults(scenario, schedule)
+        # Deciding inside the blackout reuses the forecast made at the
+        # last non-blackout slot (slot 2).
+        stale = faulted.predictor.predict_window(4, 4, 2)
+        fresh = scenario.predictor.predict_window(2, 4, 2)
+        assert np.allclose(stale, fresh)
+
+    def test_empty_schedule_changes_nothing(self):
+        scenario = _tiny_scenario()
+        faulted = inject_faults(scenario, FaultSchedule(()))
+        assert (faulted.demand.rates == scenario.demand.rates).all()
+        plain = run_policy(scenario, LRFU())
+        empty = run_policy(faulted, LRFU())
+        assert plain.cost.total == empty.cost.total
+        assert (plain.x == empty.x).all()
+
+
+class TestEvictToFit:
+    def test_respects_capacity_and_keeps_best(self):
+        x = np.ones((1, 4))
+        values = np.array([[3.0, 1.0, 4.0, 2.0]])
+        fitted = evict_to_fit(x, np.array([2]), values)
+        assert fitted.sum() == 2
+        assert fitted[0, 2] == 1 and fitted[0, 0] == 1
+
+    def test_tie_breaks_by_ascending_index(self):
+        x = np.ones((1, 3))
+        values = np.zeros((1, 3))
+        fitted = evict_to_fit(x, np.array([1]), values)
+        assert list(fitted[0]) == [1, 0, 0]
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize("policy_name", ["RHC", "LRFU"])
+    def test_acceptance_scenario_zero_violations(self, policy_name):
+        scenario = inject_faults(_tiny_scenario(), _acceptance_schedule())
+        policy = (
+            RHC(window=3, settings=SETTINGS) if policy_name == "RHC" else LRFU()
+        )
+        result = run_policy(scenario, policy)
+        slacks = assert_feasible_under_faults(scenario, result.x, result.y)
+        assert all(v <= 1e-6 for v in slacks.values())
+        # The down SBS serves nothing during the outage.
+        served = (scenario.demand.rates * result.y).sum(axis=(1, 2))
+        assert result.cost.total > 0
+        assert served[2] == 0 and served[3] == 0
+
+    def test_outage_violation_detected(self):
+        scenario = inject_faults(_tiny_scenario(), _acceptance_schedule())
+        result = run_policy(scenario, LRFU())
+        y_bad = result.y.copy()
+        y_bad[2] = np.minimum(result.x[2, scenario.network.class_sbs, :], 1.0)
+        if y_bad[2].sum() == 0:  # ensure some service during the outage
+            y_bad[2, 0, 0] = 1.0
+        with pytest.raises(ConfigurationError):
+            assert_feasible_under_faults(scenario, result.x, y_bad)
+
+    def test_faulted_run_identical_across_executors(self):
+        scenario = inject_faults(_tiny_scenario(), _acceptance_schedule())
+        policies = [RHC(window=3, settings=SETTINGS), LRFU()]
+        serial = run_policies(scenario, policies)
+        threaded = run_policies(scenario, policies, executor="thread:2")
+        procs = run_policies(scenario, policies, executor="process:2")
+        for name, reference in serial.items():
+            for alt in (threaded, procs):
+                assert alt[name].cost.total == reference.cost.total
+                assert (alt[name].x == reference.x).all()
+                assert (alt[name].y == reference.y).all()
+
+
+class TestResilienceExperiment:
+    def test_report_shape_and_feasibility(self):
+        report = run_resilience(horizon=8, window=3, seed=1)
+        names = [row.policy for row in report.policies]
+        assert any(n.startswith("RHC") for n in names)
+        assert "LRFU" in names
+        for row in report.policies:
+            assert row.total_cost >= row.fault_free_cost * (1 - 1e-9)
+            assert all(v <= 1e-6 for v in row.violations.values())
+        payload = report.to_dict()
+        assert payload["horizon"] == 8
+        assert payload["schedule"]["events"]
+
+    def test_rejects_pre_injected_scenario(self):
+        scenario = inject_faults(_tiny_scenario(), _acceptance_schedule())
+        with pytest.raises(ValueError, match="fault-free"):
+            run_resilience(scenario)
+
+    def test_default_schedule_scales(self):
+        schedule = default_fault_schedule(40)
+        kinds = {type(e) for e in schedule.events}
+        assert kinds == {SbsOutage, BandwidthDegradation}
+        assert schedule.last_fault_end() <= 40
