@@ -96,8 +96,13 @@ def save_json(bench_scale):
 
     Every benchmark writes one of these next to its ``.txt`` report so
     regression-tracking tooling can diff numbers without parsing tables.
-    The bench name and scale are stamped into the payload.
+    The bench name and scale are stamped into the payload, and a run
+    manifest (seed, config hash, package versions — see
+    :func:`repro.obs.run_manifest`) lands next to it as
+    ``BENCH_<name>.manifest.json``.
     """
+    from repro.obs import run_manifest, write_manifest
+
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, payload: dict) -> Path:
@@ -106,6 +111,17 @@ def save_json(bench_scale):
         with path.open("w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=2, sort_keys=False)
             fh.write("\n")
+        manifest = run_manifest(
+            seed=bench_scale.seeds[0],
+            config={
+                "bench": name,
+                "scale": bench_scale.name,
+                "horizon": bench_scale.horizon,
+                "seeds": list(bench_scale.seeds),
+            },
+            fault_schedule=payload.get("schedule"),
+        )
+        write_manifest(RESULTS_DIR / f"BENCH_{name}.manifest.json", manifest)
         print(f"[saved to {path}]")
         return path
 

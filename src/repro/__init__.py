@@ -21,6 +21,8 @@ Quickstart
 ['AFHC(w=5)', 'CHC(w=5,r=2)', 'LRFU', 'Offline', 'RHC(w=5)']
 """
 
+import logging as _logging
+
 from repro import api
 from repro.baselines import BeladyVolume, FIFO, LFU, LRFU, LRU, NoCache, StaticTopK
 from repro.config import RuntimeConfig
@@ -62,6 +64,16 @@ from repro.workload import (
 )
 
 __version__ = "1.0.0"
+
+# Library logging policy: no output unless the application configures a
+# handler (the CLI installs a console handler for --verbose). The recorder
+# bridge routes repro.* records into an ambient obs Recorder when one is
+# attached; it is a strict no-op otherwise.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro.obs.recorder import install_log_bridge as _install_log_bridge  # noqa: E402
+
+_install_log_bridge()
 
 __all__ = [
     "AFHC",

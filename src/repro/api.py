@@ -55,7 +55,20 @@ from repro.network import (
 )
 from repro.network.costs import LinearOperatingCost, QuadraticOperatingCost
 from repro.network.topology import single_cell_network
+from repro.obs import (
+    ConvergenceTrace,
+    Recorder,
+    TraceEvent,
+    current_recorder,
+    read_trace,
+    record_into,
+    render_trace_dashboard,
+    run_manifest,
+    write_manifest,
+    write_trace,
+)
 from repro.optim import SolveBudget
+from repro.perf.timers import StageTimers
 from repro.scenario import CachingPolicy, PolicyPlan, Scenario
 from repro.sim.discrete import replay_trace
 from repro.sim.engine import EvaluationMode, RunResult, evaluate_plan
@@ -248,4 +261,16 @@ __all__ = [
     "default_fault_schedule",
     "render_resilience_table",
     "run_resilience",
+    # observability
+    "ConvergenceTrace",
+    "Recorder",
+    "StageTimers",
+    "TraceEvent",
+    "current_recorder",
+    "read_trace",
+    "record_into",
+    "render_trace_dashboard",
+    "run_manifest",
+    "write_manifest",
+    "write_trace",
 ]

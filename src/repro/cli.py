@@ -11,6 +11,8 @@ Examples
     repro sweep --axis noise --values 0 0.25  # Fig. 5
     repro bench --scale quick                 # benchmark suite (BENCH_*.json)
     repro resilience --horizon 40             # policies under a fault schedule
+    repro run --trace out.jsonl               # record a telemetry trace + manifest
+    repro obs report out.jsonl                # ASCII dashboard of a recorded trace
 
 The pre-redesign commands (``fig2`` ... ``fig5``, ``headline``, ``demo``)
 still work as hidden aliases of ``sweep`` / ``run`` so existing scripts
@@ -21,12 +23,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence
 
 from repro import api
+from repro.obs import manifest_path_for, validate_manifest, validate_trace
 
 #: Metrics printed per sweep axis (mirrors the panels of Figs. 2-5).
 _AXIS_METRICS = {
@@ -76,6 +81,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="also write the machine-readable result as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace to PATH (JSONL) plus a run manifest "
+        "next to it (see 'repro obs report')",
     )
     parser.add_argument("--verbose", action="store_true")
 
@@ -183,6 +196,65 @@ def _default_bench_dir() -> Path | None:
     return None
 
 
+def _cmd_obs(args: argparse.Namespace) -> dict | None:
+    """``repro obs report <trace>`` — render a recorded trace as a dashboard."""
+    events = api.read_trace(args.trace_file)
+    print(api.render_trace_dashboard(events))
+    manifest_path = manifest_path_for(args.trace_file)
+    if manifest_path.is_file():
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        validate_manifest(manifest)
+        print()
+        print(
+            f"manifest: seed={manifest['seed']} "
+            f"config_hash={manifest['config_hash'][:12]} "
+            f"trace_digest={manifest['trace']['digest'][:12]}"
+        )
+    return None
+
+
+def _trace_config(args: argparse.Namespace, command: str) -> dict:
+    """The run-defining configuration recorded in the trace manifest.
+
+    Deliberately excludes the executor/worker spec and output paths: the
+    manifest (like the trace itself) must be byte-identical no matter how
+    the run was parallelized or where its artifacts were written.
+    """
+    config: dict = {"command": command}
+    for key in ("horizon", "window", "mode", "beta", "axis", "recover_tol"):
+        value = getattr(args, key, None)
+        if value is not None:
+            config[key] = value
+    values = getattr(args, "values", None)
+    if values is not None:
+        config["values"] = [float(v) for v in values]
+    seeds = getattr(args, "seeds", None)
+    if seeds is not None:
+        config["seeds"] = [int(s) for s in seeds]
+    return config
+
+
+def _write_trace_artifacts(args: argparse.Namespace, command: str, recorder) -> None:
+    api.write_trace(args.trace, recorder)
+    fault_schedule = None
+    if command == "resilience":
+        fault_schedule = api.default_fault_schedule(args.horizon).to_dict()
+    manifest = api.run_manifest(
+        seed=int(args.seeds[0]) if getattr(args, "seeds", None) else 0,
+        config=_trace_config(args, command),
+        events=recorder.events,
+        fault_schedule=fault_schedule,
+    )
+    manifest_path = manifest_path_for(args.trace)
+    api.write_manifest(manifest_path, manifest)
+    print(
+        f"wrote {args.trace} ({validate_trace(recorder.events)} events) "
+        f"and {manifest_path}",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -192,7 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     # metavar hides the legacy aliases from --help while keeping them parseable.
     sub = parser.add_subparsers(
-        dest="command", required=True, metavar="{run,sweep,bench,resilience}"
+        dest="command", required=True, metavar="{run,sweep,bench,resilience,obs}"
     )
 
     pr = sub.add_parser("run", help="headline policy comparison (Section V-C)")
@@ -232,6 +304,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="relative tolerance for the recovery test",
     )
     _add_common(pz)
+
+    po = sub.add_parser("obs", help="inspect recorded telemetry (see --trace)")
+    po.add_argument(
+        "obs_command", choices=("report",), help="what to do with the trace"
+    )
+    # dest deliberately differs from the --trace *recording* option so the
+    # dispatch loop never mistakes the input path for a recording request.
+    po.add_argument(
+        "trace_file", metavar="trace", type=str, help="trace file written by --trace"
+    )
 
     # Hidden legacy aliases (fig2..fig5, headline, demo).
     p2 = sub.add_parser("fig2")
@@ -278,8 +360,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "resilience": _cmd_resilience,
+        "obs": _cmd_obs,
     }
-    payload = handlers[command](args)
+
+    # --verbose: route repro.* log records to stdout for this invocation.
+    # The handler is created per call (not at import) so test harnesses that
+    # replace sys.stdout see the output, and removed afterwards so repeated
+    # main() calls never stack handlers.
+    console: logging.Handler | None = None
+    repro_logger = logging.getLogger("repro")
+    if getattr(args, "verbose", False):
+        console = logging.StreamHandler(sys.stdout)
+        console.setFormatter(logging.Formatter("%(message)s"))
+        console.setLevel(logging.INFO)
+        repro_logger.addHandler(console)
+        if repro_logger.level > logging.INFO or repro_logger.level == logging.NOTSET:
+            repro_logger.setLevel(logging.INFO)
+
+    trace_path = getattr(args, "trace", None)
+    recorder = api.Recorder() if trace_path else None
+    try:
+        with api.record_into(recorder) if recorder is not None else nullcontext():
+            payload = handlers[command](args)
+    finally:
+        if console is not None:
+            repro_logger.removeHandler(console)
+
+    if recorder is not None:
+        _write_trace_artifacts(args, command, recorder)
 
     if getattr(args, "json", None) and payload is not None:
         _write_json(args.json, payload)

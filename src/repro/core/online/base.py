@@ -32,6 +32,7 @@ from repro.faults.degrade import (
     evict_trajectory_to_fit,
     sbs_item_values,
 )
+from repro.obs.recorder import inc, slot_scope
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -112,16 +113,22 @@ def solve_window(
     mu0 = None
     if mu_warm is not None and mu_warm.shape == (window, *predicted.shape[1:]):
         mu0 = mu_warm
-    return solve_primal_dual(
-        problem,
-        max_iter=settings.max_iter,
-        gap_tol=settings.gap_tol,
-        caching_backend=settings.caching_backend,
-        mu0=mu0,
-        ub_patience=settings.ub_patience,
-        initial_candidates=candidates,
-        max_seconds=settings.max_seconds,
-    )
+    inc("window_solves")
+    if mu0 is not None:
+        inc("window_solves_warm_started")
+    # Stamp the deciding slot onto every event the inner solver emits
+    # (solve_done, budget_exhausted), so traces tie each solve to its slot.
+    with slot_scope(max(window_start, 0)):
+        return solve_primal_dual(
+            problem,
+            max_iter=settings.max_iter,
+            gap_tol=settings.gap_tol,
+            caching_backend=settings.caching_backend,
+            mu0=mu0,
+            ub_patience=settings.ub_patience,
+            initial_candidates=candidates,
+            max_seconds=settings.max_seconds,
+        )
 
 
 def shift_mu(mu: FloatArray, shift: int) -> FloatArray:

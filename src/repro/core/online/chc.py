@@ -23,6 +23,7 @@ from repro.core.rounding import (
     round_load_balancing,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs.recorder import inc, label_scope
 from repro.scenario import PolicyPlan, Scenario
 
 
@@ -66,6 +67,10 @@ class CHC:
         return f"CHC(w={self.window},r={self.commitment})"
 
     def plan(self, scenario: Scenario) -> PolicyPlan:
+        with label_scope(controller=self.name):
+            return self._plan(scenario)
+
+    def _plan(self, scenario: Scenario) -> PolicyPlan:
         x_sum = np.zeros(
             (scenario.horizon, scenario.network.num_sbs, scenario.network.num_items)
         )
@@ -88,6 +93,7 @@ class CHC:
             x_sum += traj.x
             y_sum += traj.y
             solves += traj.solves
+            inc("fhc_variants_run", labels={"controller": self.name})
         x_avg = x_sum / self.commitment
         y_avg = y_sum / self.commitment
         rho = self.rho if self.rho is not None else optimal_rounding_threshold()

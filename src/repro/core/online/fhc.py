@@ -17,6 +17,7 @@ from repro.core.horizon import committed_slots, fhc_solve_times
 from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
 from repro.exceptions import ConfigurationError
 from repro.faults.degrade import realize_slot, scenario_states
+from repro.obs.recorder import inc
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -74,6 +75,11 @@ def run_fhc_variant(
         )
         solves += 1
         slots = committed_slots(tau, commitment, T)
+        inc(
+            "controller_commits",
+            len(slots),
+            labels={"controller": "FHC", "variant": variant},
+        )
         for t in slots:
             x[t] = result.x[t - tau]
             y[t] = result.y[t - tau]

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
 from repro.exceptions import ConfigurationError
 from repro.faults.degrade import realize_slot, scenario_states
+from repro.obs.recorder import inc, label_scope
 from repro.scenario import PolicyPlan, Scenario
 
 
@@ -44,6 +45,10 @@ class RHC:
         return f"RHC(w={self.window})"
 
     def plan(self, scenario: Scenario) -> PolicyPlan:
+        with label_scope(controller=self.name):
+            return self._plan(scenario)
+
+    def _plan(self, scenario: Scenario) -> PolicyPlan:
         T = scenario.horizon
         net = scenario.network
         x = np.zeros((T, net.num_sbs, net.num_items))
@@ -66,6 +71,7 @@ class RHC:
                 x_warm=x_warm,
             )
             solves += 1
+            inc("controller_commits", labels={"controller": "RHC"})
             x[tau] = result.x[0]
             y[tau] = result.y[0]
             if faulted:

@@ -37,7 +37,10 @@ from repro.core.load_balancing import solve_p2, solve_y_given_x
 from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
 from repro.network.costs import CostBreakdown
+from repro.obs.convergence import ConvergenceTrace
+from repro.obs.recorder import emit
 from repro.optim.budget import SolveBudget
+from repro.optim.subgradient import dual_ascent_recorder
 from repro.perf.executor import Executor, resolve_executor
 from repro.perf.timers import StageTimers
 from repro.types import DEFAULT_GAP_TOL, FloatArray
@@ -76,6 +79,10 @@ class PrimalDualResult:
         Whether an anytime budget (``max_seconds``) ended the loop before
         convergence; ``(x, y)`` is then the best *feasible* pair found so
         far and the bounds/gap are still certified.
+    convergence:
+        Per-iteration :class:`repro.obs.convergence.ConvergenceTrace` with
+        columns ``gap``, ``lower_bound``, ``upper_bound``, ``step``,
+        ``subgrad_norm`` — the dual-ascent diagnostics the paper plots.
     """
 
     x: FloatArray
@@ -89,6 +96,7 @@ class PrimalDualResult:
     history: tuple[tuple[float, float], ...]
     timings: Mapping[str, float] = field(default_factory=dict)
     stopped_by_budget: bool = False
+    convergence: ConvergenceTrace | None = None
 
     @property
     def upper_bound(self) -> float:
@@ -184,6 +192,7 @@ def solve_primal_dual(
     since_lb_improved = 0
     since_ub_improved = 0
     repair_cache: dict[bytes, tuple[FloatArray, CostBreakdown]] = {}
+    convergence = dual_ascent_recorder()
 
     for candidate_x in initial_candidates or ():
         cx = np.where(np.asarray(candidate_x, dtype=np.float64) > 0.5, 1.0, 0.0)
@@ -213,7 +222,12 @@ def solve_primal_dual(
             balancing = solve_p2(problem, mu, y0=y_warm, budget=budget)
         y_warm = balancing.y
         dual_value = caching.objective + balancing.objective
-        if dual_value > lower_bound + 1e-12 * max(1.0, abs(lower_bound)):
+        # At the -inf sentinel the relative-improvement margin is nan
+        # (-inf + 1e-12*inf), which compares False against everything and
+        # would pin the bound at -inf forever; accept any finite dual first.
+        if not np.isfinite(lower_bound) or dual_value > lower_bound + 1e-12 * max(
+            1.0, abs(lower_bound)
+        ):
             lower_bound = dual_value
             since_lb_improved = 0
         else:
@@ -246,36 +260,63 @@ def solve_primal_dual(
         history.append((lower_bound, best_cost.total))
         denom = max(abs(best_cost.total), 1e-12)
         gap = (best_cost.total - lower_bound) / denom
-        if gap <= gap_tol:
-            converged = True
-            break
-        if ub_patience is not None and since_ub_improved >= ub_patience:
-            break
-        if budget is not None and budget.exhausted(iteration):
-            stopped_by_budget = True
-            break
 
         subgrad = balancing.y - caching.x[:, sbs_of, :]
         norm_sq = float(np.sum(subgrad**2))
-        if norm_sq <= 1e-18:
+        delta = 0.0
+        stop = False
+        if gap <= gap_tol:
+            converged = True
+            stop = True
+        elif ub_patience is not None and since_ub_improved >= ub_patience:
+            stop = True
+        elif budget is not None and budget.exhausted(iteration):
+            stopped_by_budget = True
+            stop = True
+        elif norm_sq <= 1e-18:
             # y <= x already satisfied everywhere: the candidate is optimal
             # for the current mu and the repair certified it.
             converged = gap <= gap_tol
-            break
-        surplus = max(best_cost.total - dual_value, 0.0)
-        if step == "polyak":
-            delta = relax * surplus / norm_sq
-        elif step == "paper":
-            if paper_scale is None:
-                paper_scale = surplus / norm_sq if surplus > 0 else 1.0
-            delta = paper_scale / (1.0 + alpha * iteration)
+            stop = True
         else:
-            raise ConfigurationError(f"unknown step mode {step!r}")
-        mu = np.maximum(mu + delta * subgrad, 0.0)
+            surplus = max(best_cost.total - dual_value, 0.0)
+            if step == "polyak":
+                delta = relax * surplus / norm_sq
+            elif step == "paper":
+                if paper_scale is None:
+                    paper_scale = surplus / norm_sq if surplus > 0 else 1.0
+                delta = paper_scale / (1.0 + alpha * iteration)
+            else:
+                raise ConfigurationError(f"unknown step mode {step!r}")
+            mu = np.maximum(mu + delta * subgrad, 0.0)
+        convergence.record(
+            lower_bound=lower_bound,
+            upper_bound=best_cost.total,
+            gap=gap,
+            step=delta,
+            subgrad_norm=float(np.sqrt(norm_sq)),
+        )
+        if stop:
+            break
 
     assert best_cost is not None and best_x is not None and best_y is not None
     timers.add("total", time.perf_counter() - solve_started)
     timings = timers.as_dict()
+    emit(
+        "solve_done",
+        iterations=iterations,
+        gap=float(gap),
+        lower_bound=float(lower_bound),
+        upper_bound=float(best_cost.total),
+        converged=converged,
+        stopped_by_budget=stopped_by_budget,
+    )
+    if stopped_by_budget:
+        emit(
+            "budget_exhausted",
+            iterations=iterations,
+            max_seconds=max_seconds,
+        )
     return PrimalDualResult(
         x=best_x,
         y=best_y,
@@ -288,4 +329,5 @@ def solve_primal_dual(
         history=tuple(history),
         timings=timings,
         stopped_by_budget=stopped_by_budget,
+        convergence=convergence.freeze(),
     )

@@ -31,6 +31,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.faults.schedule import FaultSchedule, FaultStates, SlotState
 from repro.network.topology import Network
+from repro.obs.recorder import emit, inc
 from repro.scenario import Scenario
 from repro.types import FloatArray
 from repro.workload.demand import DemandMatrix
@@ -64,10 +65,12 @@ def evict_to_fit(
         cap = int(caps[n])
         cached = np.nonzero(x[n] > 0.5)[0]
         if cap <= 0:
+            inc("fault_evictions", len(cached), labels={"sbs": int(n)})
             x[n, cached] = 0.0
             continue
         # Sort cached items by descending value, ascending index on ties.
         order = cached[np.lexsort((cached, -values[n, cached]))]
+        inc("fault_evictions", len(order[cap:]), labels={"sbs": int(n)})
         x[n, order[cap:]] = 0.0
     return x
 
@@ -104,6 +107,7 @@ def realize_caching(
         desired = np.where(plan_x[t] > 0.5, 1.0, 0.0)
         down = ~states.sbs_up[t]
         if down.any():
+            inc("fault_frozen_slots", int(down.sum()))
             desired[down] = prev[down]
         x_real[t] = evict_to_fit(
             desired, states.cache_sizes[t], sbs_item_values(network, rates[t])
@@ -185,6 +189,7 @@ def inject_faults(scenario: Scenario, schedule: FaultSchedule) -> Scenario:
     schedule.validate(scenario.network)
     if schedule.is_empty:
         return replace(scenario, faults=schedule)
+    emit("fault_injected", events=len(schedule.events))
 
     demand = scenario.demand
     factors = schedule.demand_factors(demand.horizon, demand.num_classes)

@@ -1,0 +1,95 @@
+"""repro.obs — structured run telemetry.
+
+Event traces (:mod:`repro.obs.events`), the ambient
+:class:`~repro.obs.recorder.Recorder` with its metric registry
+(:mod:`repro.obs.recorder`), per-iteration convergence traces
+(:mod:`repro.obs.convergence`), deterministic exporters
+(:mod:`repro.obs.exporters`), and the ASCII trace dashboard
+(:mod:`repro.obs.dashboard`).
+
+Quickstart::
+
+    from repro import api
+    from repro.obs import Recorder, record_into, write_trace
+
+    recorder = Recorder()
+    scenario = api.build_scenario(seed=1, horizon=10)
+    with record_into(recorder):
+        api.compare_policies(scenario, [api.LRFU()])
+    write_trace("run.jsonl", recorder)
+"""
+
+from repro.obs.convergence import ConvergenceRecorder, ConvergenceTrace
+from repro.obs.dashboard import render_trace_dashboard
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    TraceEvent,
+    validate_event_dict,
+    validate_trace,
+)
+from repro.obs.exporters import (
+    canonical_json,
+    config_digest,
+    manifest_path_for,
+    prometheus_snapshot,
+    read_trace,
+    run_manifest,
+    slot_series_csv,
+    trace_digest,
+    validate_manifest,
+    write_manifest,
+    write_slot_series,
+    write_trace,
+)
+from repro.obs.recorder import (
+    Histogram,
+    MetricRegistry,
+    Recorder,
+    RecorderHandler,
+    current_recorder,
+    emit,
+    inc,
+    install_log_bridge,
+    label_scope,
+    observe,
+    record_into,
+    set_gauge,
+    slot_scope,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "ConvergenceRecorder",
+    "ConvergenceTrace",
+    "Histogram",
+    "MetricRegistry",
+    "Recorder",
+    "RecorderHandler",
+    "TraceEvent",
+    "canonical_json",
+    "config_digest",
+    "current_recorder",
+    "emit",
+    "inc",
+    "install_log_bridge",
+    "label_scope",
+    "manifest_path_for",
+    "observe",
+    "prometheus_snapshot",
+    "read_trace",
+    "record_into",
+    "render_trace_dashboard",
+    "run_manifest",
+    "set_gauge",
+    "slot_scope",
+    "slot_series_csv",
+    "trace_digest",
+    "validate_event_dict",
+    "validate_manifest",
+    "validate_trace",
+    "write_manifest",
+    "write_slot_series",
+    "write_trace",
+]

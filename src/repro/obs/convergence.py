@@ -1,0 +1,103 @@
+"""Per-iteration convergence traces for the optimizers.
+
+:class:`ConvergenceRecorder` is a tiny column-store the solver loops append
+to (one ``record(**values)`` per iteration); :meth:`freeze` produces the
+immutable :class:`ConvergenceTrace` surfaced on
+:class:`repro.core.primal_dual.PrimalDualResult` and
+:class:`repro.optim.fista.FistaResult`.
+
+Column conventions:
+
+* subgradient dual ascent (``algorithm="subgradient"``): ``lower_bound``,
+  ``upper_bound``, ``gap``, ``step``, ``subgrad_norm``
+* FISTA (``algorithm="fista"``): ``objective``, ``residual``,
+  ``lipschitz`` — recorded for **accepted** iterates only, so with the
+  monotone restart enabled the ``objective`` series is non-increasing
+  (asserted by ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConvergenceTrace:
+    """Immutable per-iteration record of a solver run.
+
+    ``rows[i]`` holds the values of ``columns`` at iteration ``i``.
+    """
+
+    algorithm: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[float, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def series(self, column: str) -> tuple[float, ...]:
+        """All values of one column, in iteration order."""
+        try:
+            idx = self.columns.index(column)
+        except ValueError:
+            raise ConfigurationError(
+                f"trace of {self.algorithm!r} has no column {column!r}; "
+                f"available: {list(self.columns)}"
+            ) from None
+        return tuple(row[idx] for row in self.rows)
+
+    def final(self, column: str) -> float | None:
+        values = self.series(column)
+        return values[-1] if values else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ConvergenceTrace":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            columns=tuple(payload["columns"]),
+            rows=tuple(tuple(float(v) for v in row) for row in payload["rows"]),
+        )
+
+
+class ConvergenceRecorder:
+    """Mutable accumulator the solver loops write into.
+
+    The column set is fixed by the first :meth:`record` call; later calls
+    must supply exactly the same keys (missing data is a solver bug, not
+    something to paper over with NaNs).
+    """
+
+    def __init__(self, algorithm: str) -> None:
+        self.algorithm = algorithm
+        self._columns: tuple[str, ...] | None = None
+        self._rows: list[tuple[float, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def record(self, **values: float) -> None:
+        if self._columns is None:
+            self._columns = tuple(sorted(values))
+        elif set(values) != set(self._columns):
+            raise ConfigurationError(
+                f"convergence record keys {sorted(values)} differ from "
+                f"established columns {list(self._columns)}"
+            )
+        self._rows.append(tuple(float(values[c]) for c in self._columns))
+
+    def freeze(self) -> ConvergenceTrace:
+        return ConvergenceTrace(
+            algorithm=self.algorithm,
+            columns=self._columns or (),
+            rows=tuple(self._rows),
+        )

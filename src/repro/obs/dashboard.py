@@ -1,0 +1,113 @@
+"""ASCII dashboard rendered from a recorded trace.
+
+Reuses the generic grid renderer extracted into
+:func:`repro.sim.ascii_chart.render_series_chart`: per-slot realized cost
+(one series per policy) from ``slot_end`` events, plus a compact summary
+of solves, cache churn, faults, and log lines. This is what
+``repro obs report <trace>`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.events import TraceEvent
+
+
+def _slot_cost_series(
+    events: Sequence[TraceEvent],
+) -> tuple[list[int], dict[str, list[float]]]:
+    """Group slot_end cost by policy; missing slots carry forward nothing
+    (series are aligned on the union of observed slots)."""
+    by_policy: dict[str, dict[int, float]] = {}
+    slots: set[int] = set()
+    for event in events:
+        if event.kind != "slot_end" or event.slot is None:
+            continue
+        data = event.data
+        policy = str(data.get("policy", "run"))
+        total = data.get("total")
+        if total is None:
+            continue
+        by_policy.setdefault(policy, {})[event.slot] = float(total)
+        slots.add(event.slot)
+    ordered = sorted(slots)
+    series = {
+        name: [points.get(t, float("nan")) for t in ordered]
+        for name, points in sorted(by_policy.items())
+    }
+    return ordered, series
+
+
+def render_trace_dashboard(
+    events: Sequence[TraceEvent], *, width: int = 60, height: int = 14
+) -> str:
+    """Render the per-slot cost chart plus an event/fault summary."""
+    # Imported here, not at module top: the solver stack is instrumented
+    # with repro.obs, so obs must not import sim at package-init time.
+    from repro.sim.ascii_chart import render_series_chart
+
+    kinds: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+
+    sections: list[str] = []
+    slots, series = _slot_cost_series(events)
+    if slots and series:
+        sections.append(
+            render_series_chart(
+                [float(t) for t in slots],
+                series,
+                title="per-slot cost",
+                x_label="slot",
+                width=width,
+                height=height,
+            )
+        )
+    else:
+        sections.append("(no slot_end events — nothing to chart)")
+
+    summary = ["", "trace summary"]
+    summary.append("  events: " + str(len(events)))
+    for kind in sorted(kinds):
+        summary.append(f"    {kind:<18} {kinds[kind]}")
+
+    solves = [e for e in events if e.kind == "solve_done"]
+    if solves:
+        gaps = [
+            float(e.data["gap"])
+            for e in solves
+            if isinstance(e.data.get("gap"), (int, float))
+        ]
+        converged = sum(1 for e in solves if e.data.get("converged"))
+        summary.append(
+            f"  solves: {len(solves)} ({converged} converged"
+            + (f", worst gap {max(gaps):.3g}" if gaps else "")
+            + ")"
+        )
+
+    faults = [
+        e for e in events if e.kind in ("fault_injected", "fault_cleared")
+    ]
+    if faults:
+        windows = ", ".join(
+            f"{e.kind.split('_')[1]}@{e.slot}" for e in faults if e.slot is not None
+        )
+        summary.append(f"  faults: {windows}")
+
+    churn_in = sum(
+        int(e.data.get("count", 0)) for e in events if e.kind == "cache_insert"
+    )
+    churn_out = sum(
+        int(e.data.get("count", 0)) for e in events if e.kind == "cache_evict"
+    )
+    if churn_in or churn_out:
+        summary.append(f"  cache churn: +{churn_in} / -{churn_out} items")
+
+    logs = [e for e in events if e.kind == "log"]
+    if logs:
+        summary.append(f"  log lines: {len(logs)} (last: "
+                       f"{logs[-1].data.get('message', '')!r})")
+
+    sections.append("\n".join(summary))
+    return "\n".join(sections)

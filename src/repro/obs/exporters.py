@@ -1,0 +1,249 @@
+"""Trace and metric exporters: JSONL, Prometheus text, CSV, run manifest.
+
+Every exporter is deterministic: canonical JSON (sorted keys, no
+whitespace), sorted metric families, and no wall-clock or host data in
+anything whose byte-identity is asserted. In particular the **manifest**
+deliberately omits the executor backend — the acceptance contract is that
+the same seeded run writes identical trace and manifest bytes whether it
+ran serially or on a thread/process pool.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.obs.events import SCHEMA_VERSION, TraceEvent, validate_trace
+from repro.obs.recorder import MetricRegistry, Recorder
+
+
+def canonical_json(payload: Any) -> str:
+    """The one true JSON form: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(payload: Mapping[str, Any]) -> str:
+    """sha256 over the canonical JSON of a config-like mapping."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# JSONL event log
+
+
+def trace_lines(events: Iterable[TraceEvent]) -> list[str]:
+    return [event.to_json() for event in events]
+
+
+def write_trace(path: str | Path, recorder: Recorder) -> Path:
+    """Write the recorder's events as canonical JSONL (one event per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = "\n".join(trace_lines(recorder.events))
+    path.write_text(body + "\n" if body else "", encoding="utf-8")
+    return path
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Parse and validate a JSONL trace back into events."""
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: invalid JSON in trace: {exc}"
+            ) from exc
+        events.append(TraceEvent.from_dict(payload))
+    validate_trace(events)
+    return events
+
+
+def trace_digest(events: Sequence[TraceEvent]) -> str:
+    """sha256 over the canonical JSONL bytes of a trace."""
+    body = "\n".join(trace_lines(events))
+    return hashlib.sha256((body + "\n" if body else "").encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Prometheus-style text snapshot
+
+
+def prometheus_snapshot(metrics: MetricRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expand to ``_bucket``
+    (cumulative, with an explicit ``+Inf``), ``_sum``, and ``_count``
+    series, all sorted for stable output.
+    """
+
+    def fmt_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in labels]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    lines: list[str] = []
+    data = metrics.items()
+    by_name: dict[str, list] = {}
+    for (name, labels), value in sorted(data["counters"].items()):
+        by_name.setdefault(f"{name}_total:counter", []).append((labels, value))
+    for (name, labels), value in sorted(data["gauges"].items()):
+        by_name.setdefault(f"{name}:gauge", []).append((labels, value))
+    for key, series in by_name.items():
+        name, kind = key.rsplit(":", 1)
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in series:
+            lines.append(f"{name}{fmt_labels(labels)} {value:g}")
+    for (name, labels), hist in sorted(data["histograms"].items()):
+        lines.append(f"# TYPE {name} histogram")
+        for bound, count in zip(hist.buckets, hist.counts):
+            # counts are already cumulative per bucket
+            le = 'le="%g"' % bound
+            lines.append(f"{name}_bucket{fmt_labels(labels, le)} {count}")
+        inf_le = 'le="+Inf"'
+        lines.append(f"{name}_bucket{fmt_labels(labels, inf_le)} {hist.count}")
+        lines.append(f"{name}_sum{fmt_labels(labels)} {hist.total:g}")
+        lines.append(f"{name}_count{fmt_labels(labels)} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------
+# CSV time series
+
+
+def slot_series_csv(events: Sequence[TraceEvent]) -> str:
+    """Per-slot cost time series from ``slot_end`` events, as CSV text.
+
+    One row per ``slot_end`` event with the union of data fields as
+    columns (sorted), so traces with heterogeneous policies still align.
+    """
+    rows = [e for e in events if e.kind == "slot_end"]
+    field_names: list[str] = sorted({k for e in rows for k, _ in e.fields})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["slot", *field_names])
+    for event in rows:
+        data = event.data
+        writer.writerow(
+            [event.slot, *[data.get(name, "") for name in field_names]]
+        )
+    return buffer.getvalue()
+
+
+def write_slot_series(path: str | Path, events: Sequence[TraceEvent]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(slot_series_csv(events), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------
+# Run manifest
+
+
+def package_versions() -> dict[str, str]:
+    import numpy
+    import scipy
+
+    import repro
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": repro.__version__,
+    }
+
+
+def run_manifest(
+    *,
+    seed: int | None,
+    config: Mapping[str, Any],
+    events: Sequence[TraceEvent] = (),
+    fault_schedule: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the reproducibility manifest for one run.
+
+    ``config`` is the run-defining parameter mapping (horizon, beta,
+    window, ...); its canonical-JSON sha256 becomes ``config_hash``.
+    ``fault_schedule`` is a ``FaultSchedule.to_dict()`` payload (or None).
+    The executor backend is intentionally absent: a manifest describes the
+    *model run*, which is executor-invariant by contract.
+    """
+    kinds: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    manifest: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "seed": seed,
+        "config": dict(sorted(config.items())),
+        "config_hash": config_digest(config),
+        "packages": package_versions(),
+        "fault_schedule_digest": (
+            None if fault_schedule is None else config_digest(fault_schedule)
+        ),
+        "trace": {
+            "events": len(events),
+            "kinds": dict(sorted(kinds.items())),
+            "digest": trace_digest(events),
+        },
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str | Path, manifest: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(manifest) + "\n", encoding="utf-8")
+    return path
+
+
+def manifest_path_for(trace_path: str | Path) -> Path:
+    """``out.jsonl`` -> ``out.manifest.json`` (next to the trace)."""
+    trace_path = Path(trace_path)
+    return trace_path.with_name(trace_path.stem + ".manifest.json")
+
+
+def validate_manifest(payload: Mapping[str, Any]) -> None:
+    """Check the manifest carries every required field."""
+    required = {
+        "schema_version",
+        "seed",
+        "config",
+        "config_hash",
+        "packages",
+        "fault_schedule_digest",
+        "trace",
+    }
+    missing = required - set(payload)
+    if missing:
+        raise ConfigurationError(f"manifest missing fields {sorted(missing)}")
+    for pkg in ("python", "numpy", "scipy", "repro"):
+        if pkg not in payload["packages"]:
+            raise ConfigurationError(f"manifest packages missing {pkg!r}")
+    trace = payload["trace"]
+    if not isinstance(trace, Mapping) or {
+        "events",
+        "kinds",
+        "digest",
+    } - set(trace):
+        raise ConfigurationError("manifest trace block incomplete")
+
+
+if sys.version_info < (3, 10):  # pragma: no cover
+    raise ImportError("repro.obs requires Python >= 3.10")

@@ -1,0 +1,401 @@
+"""The :class:`Recorder` — event stream + metric registry — and its hooks.
+
+Design constraints, in order:
+
+1. **Off-by-default-cheap.** Instrumented code paths call the module-level
+   :func:`emit` / :func:`inc` / :func:`observe` helpers, which cost one
+   ``ContextVar.get`` + ``None`` check when no recorder is attached. The
+   guard benchmark (``benchmarks/bench_obs.py``) asserts ~0% overhead
+   disabled and < 5% enabled on the headline run.
+2. **Deterministic.** Events carry no wall-clock data; metric maps are
+   insertion-ordered and merged in task-input order (the same
+   ordered-reduce discipline as :meth:`repro.perf.timers.StageTimers.merge`),
+   so serial / thread / process executions of a seeded run produce
+   byte-identical traces. Parallel fan-out uses
+   :func:`repro.perf.executor.map_recorded`, which gives every task a
+   fresh recorder and lets the parent merge them in input order.
+3. **Protocol-neutral.** Activation is ambient (:func:`record_into`), so
+   policies and solvers are instrumented without widening the
+   :class:`repro.scenario.CachingPolicy` protocol or every call chain.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.obs.events import SCHEMA_VERSION, TraceEvent
+
+#: Label sets are canonicalized to sorted tuples so ``(name, labels)`` keys
+#: are order-insensitive at call sites.
+LabelKey = tuple[tuple[str, str], ...]
+MetricKey = tuple[str, LabelKey]
+
+#: Fixed histogram bucket upper bounds (powers of ten around typical
+#: iteration counts / gaps); +inf is implicit in ``count``.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0
+)
+
+
+def _label_key(labels: Mapping[str, Any] | None) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricRegistry:
+    """Counters, gauges, and histograms keyed by ``(name, labels)``.
+
+    Insertion-ordered (plain dicts), so two registries fed the same
+    sequence of updates serialize identically — the property the
+    cross-executor determinism contract relies on.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + float(value)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._gauges[(name, _label_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.observe(value)
+
+    def counter(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> float:
+        return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def gauge(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> float | None:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def histogram(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> Histogram | None:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold ``other`` into self: counters add, gauges last-write-wins,
+        histograms pool. Call in task-input order for determinism."""
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for key, value in other._gauges.items():
+            self._gauges[key] = value
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                copy = Histogram(buckets=hist.buckets)
+                copy.merge(hist)
+                self._histograms[key] = copy
+            else:
+                mine.merge(hist)
+
+    @staticmethod
+    def _key_str(key: MetricKey) -> str:
+        name, labels = key
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={v}" for k, v in labels)
+        return f"{name}{{{inner}}}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {
+                self._key_str(k): v for k, v in sorted(self._counters.items())
+            },
+            "gauges": {
+                self._key_str(k): v for k, v in sorted(self._gauges.items())
+            },
+            "histograms": {
+                self._key_str(k): h.to_dict()
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def items(self) -> dict[str, dict[MetricKey, Any]]:
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": dict(self._histograms),
+        }
+
+
+class Recorder:
+    """Collects a typed event stream plus a metric registry for one run.
+
+    Use :func:`record_into` to make a recorder ambient for a code region;
+    instrumented modules then feed it through the module-level fast-path
+    helpers (:func:`emit`, :func:`inc`, ...).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = MetricRegistry()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, kind: str, *, slot: int | None = None, **fields: Any) -> None:
+        slot = _resolve_slot(slot)
+        fields = _apply_labels(fields)
+        self.events.append(
+            TraceEvent.make(len(self.events), kind, slot, **fields)
+        )
+
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.metrics.inc(name, value, labels)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.metrics.set_gauge(name, value, labels)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.metrics.observe(name, value, labels)
+
+    def merge(self, other: "Recorder") -> None:
+        """Append ``other``'s events (renumbered) and fold its metrics.
+
+        Same ordered-reduce discipline as ``StageTimers.merge``: the caller
+        merges per-task recorders in task-input order, which makes the
+        combined trace independent of worker scheduling.
+        """
+        base = len(self.events)
+        for event in other.events:
+            self.events.append(
+                TraceEvent(
+                    seq=base + event.seq,
+                    kind=event.kind,
+                    slot=event.slot,
+                    fields=event.fields,
+                )
+            )
+        self.metrics.merge(other.metrics)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "events": [e.to_dict() for e in self.events],
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+# --------------------------------------------------------------------------
+# Ambient activation: one ContextVar holds the active recorder; two more
+# carry the current slot / labels so deep call sites (the subgradient loop,
+# the engine) emit fully-stamped events without threading arguments through
+# every signature.
+
+_ACTIVE: ContextVar[Recorder | None] = ContextVar("repro_obs_recorder", default=None)
+_SLOT: ContextVar[int | None] = ContextVar("repro_obs_slot", default=None)
+_LABELS: ContextVar[tuple[tuple[str, Any], ...]] = ContextVar(
+    "repro_obs_labels", default=()
+)
+
+
+def current_recorder() -> Recorder | None:
+    """The ambient recorder, or ``None`` when telemetry is off."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def record_into(recorder: Recorder | None) -> Iterator[Recorder | None]:
+    """Make ``recorder`` ambient for the dynamic extent of the block.
+
+    ``record_into(None)`` explicitly silences telemetry for a region.
+    """
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def slot_scope(slot: int | None) -> Iterator[None]:
+    """Stamp events emitted inside the block with ``slot`` by default."""
+    token = _SLOT.set(slot)
+    try:
+        yield
+    finally:
+        _SLOT.reset(token)
+
+
+@contextmanager
+def label_scope(**labels: Any) -> Iterator[None]:
+    """Attach ``labels`` as extra fields to events emitted in the block."""
+    token = _LABELS.set(_LABELS.get() + tuple(labels.items()))
+    try:
+        yield
+    finally:
+        _LABELS.reset(token)
+
+
+def _resolve_slot(slot: int | None) -> int | None:
+    return _SLOT.get() if slot is None else slot
+
+
+def _apply_labels(fields: dict[str, Any]) -> dict[str, Any]:
+    ambient = _LABELS.get()
+    if not ambient:
+        return fields
+    merged = dict(ambient)
+    merged.update(fields)
+    return merged
+
+
+def emit(kind: str, *, slot: int | None = None, **fields: Any) -> None:
+    """Fast-path event emit: no-op unless a recorder is ambient."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.emit(kind, slot=slot, **fields)
+
+
+def inc(
+    name: str, value: float = 1.0, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Fast-path counter increment: no-op unless a recorder is ambient."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.inc(name, value, labels)
+
+
+def set_gauge(
+    name: str, value: float, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Fast-path gauge set: no-op unless a recorder is ambient."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.set_gauge(name, value, labels)
+
+
+def observe(
+    name: str, value: float, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Fast-path histogram observation: no-op unless a recorder is ambient."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.observe(name, value, labels)
+
+
+class RecorderHandler(logging.Handler):
+    """Routes ``repro.*`` log records into the ambient recorder as ``log``
+    events. Installed once on the ``repro`` logger; a record emitted with
+    no recorder ambient is simply not traced (console handlers still see
+    it)."""
+
+    def emit(self, record: logging.LogRecord) -> None:  # noqa: A003
+        recorder = _ACTIVE.get()
+        if recorder is None:
+            return
+        try:
+            recorder.emit(
+                "log",
+                logger=record.name,
+                level=record.levelname,
+                message=record.getMessage(),
+            )
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+_handler_installed = False
+
+
+def install_log_bridge() -> None:
+    """Idempotently attach the :class:`RecorderHandler` to ``repro``."""
+    global _handler_installed
+    if _handler_installed:
+        return
+    logging.getLogger("repro").addHandler(RecorderHandler())
+    _handler_installed = True

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceRecorder, ConvergenceTrace
 from repro.optim.budget import SolveBudget
 from repro.types import FloatArray
 
@@ -41,6 +42,12 @@ class FistaResult:
     stopped_by_budget:
         Whether an anytime budget cut the loop short; ``x`` is then the
         best (feasible, since every iterate is projected) point reached.
+    trace:
+        Optional per-iteration :class:`repro.obs.convergence.ConvergenceTrace`
+        (columns ``objective``, ``residual``, ``lipschitz``) of **accepted**
+        iterates; with the monotone restart enabled the ``objective`` series
+        is non-increasing. Populated when ``minimize_fista`` is given a
+        recorder.
     """
 
     x: FloatArray
@@ -48,6 +55,7 @@ class FistaResult:
     iterations: int
     converged: bool
     stopped_by_budget: bool = False
+    trace: ConvergenceTrace | None = None
 
 
 def minimize_fista(
@@ -61,6 +69,7 @@ def minimize_fista(
     max_iter: int = 2000,
     restart: bool = True,
     budget: SolveBudget | None = None,
+    recorder: ConvergenceRecorder | None = None,
 ) -> FistaResult:
     """Minimize a smooth convex ``objective`` over the set defined by ``project``.
 
@@ -88,6 +97,13 @@ def minimize_fista(
         iterate with ``stopped_by_budget=True`` instead of running to
         ``max_iter``. Used by the degradation path so a degraded slot can
         never stall a window solve.
+    recorder:
+        Optional :class:`repro.obs.convergence.ConvergenceRecorder`
+        (``algorithm="fista"``) fed one row per *accepted* iterate —
+        restarted/rejected momentum steps are not recorded, so the
+        ``objective`` column is non-increasing when ``restart`` is on. The
+        frozen trace is surfaced on the result. Omitting it keeps the loop
+        allocation-free per iteration.
     """
     x = project(np.array(x0, dtype=np.float64))
     z = x.copy()
@@ -105,6 +121,7 @@ def minimize_fista(
                 iterations=iteration - 1,
                 converged=False,
                 stopped_by_budget=True,
+                trace=None if recorder is None else recorder.freeze(),
             )
         grad_z = gradient(z)
         f_z = objective(z)
@@ -133,8 +150,22 @@ def minimize_fista(
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t_momentum**2))
         z = x_new + ((t_momentum - 1.0) / t_next) * (x_new - x)
         x, f_x, t_momentum = x_new, f_new, t_next
+        if recorder is not None:
+            recorder.record(objective=f_x, residual=residual, lipschitz=L)
 
         if residual <= tol * (1.0 + abs(f_x)):
-            return FistaResult(x=x, objective=f_x, iterations=iteration, converged=True)
+            return FistaResult(
+                x=x,
+                objective=f_x,
+                iterations=iteration,
+                converged=True,
+                trace=None if recorder is None else recorder.freeze(),
+            )
 
-    return FistaResult(x=x, objective=f_x, iterations=max_iter, converged=False)
+    return FistaResult(
+        x=x,
+        objective=f_x,
+        iterations=max_iter,
+        converged=False,
+        trace=None if recorder is None else recorder.freeze(),
+    )

@@ -14,7 +14,29 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.convergence import ConvergenceRecorder
 from repro.types import FloatArray
+
+#: Column set every dual-ascent convergence trace carries (sorted; see
+#: :func:`dual_ascent_recorder`).
+DUAL_ASCENT_COLUMNS = (
+    "gap",
+    "lower_bound",
+    "step",
+    "subgrad_norm",
+    "upper_bound",
+)
+
+
+def dual_ascent_recorder() -> ConvergenceRecorder:
+    """A convergence recorder for the dual subgradient ascent loop.
+
+    One row per outer iteration of Algorithm 1 with the columns in
+    :data:`DUAL_ASCENT_COLUMNS`: the certified bounds, the relative gap,
+    the step length actually taken (0 on the terminating iteration), and
+    the subgradient norm ``||y - x||_2``.
+    """
+    return ConvergenceRecorder("subgradient")
 
 #: A step-size schedule: iteration index (1-based) to step length.
 StepRule = Callable[[int], float]

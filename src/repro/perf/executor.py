@@ -289,3 +289,43 @@ def resolve_executor(
 ) -> Executor:
     """Normalize the ``executor`` argument accepted across the library."""
     return get_executor(executor, config=config)
+
+
+# ----------------------------------------------------------- recorded fan-out
+
+def _recorded_call(fn_item: tuple[Callable[[Any], Any], Any]) -> tuple[Any, Any]:
+    """Run one task inside a fresh recorder; module-level for pickling.
+
+    ContextVars do not propagate into pool workers, so the parent's ambient
+    recorder cannot simply be inherited — instead every task gets its own
+    recorder whose events/metrics travel back with the result.
+    """
+    from repro.obs.recorder import Recorder, record_into
+
+    recorder = Recorder()
+    with record_into(recorder):
+        return fn_item[0](fn_item[1]), recorder
+
+
+def map_recorded(
+    executor: Executor,
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    recorder: "Any",
+) -> list[Any]:
+    """Ordered map that merges per-task telemetry into ``recorder``.
+
+    Each task runs with a *fresh* ambient recorder (even on the serial
+    backend, so serial and pooled runs produce identical traces); the
+    per-task recorders are merged into ``recorder`` in task-input order —
+    the same ordered-reduce discipline as
+    :meth:`repro.perf.timers.StageTimers.merge` — making the combined
+    event stream independent of worker scheduling. Returns the mapped
+    results in input order.
+    """
+    pairs = executor.map(_recorded_call, [(fn, item) for item in items])
+    results = []
+    for result, task_recorder in pairs:
+        recorder.merge(task_recorder)
+        results.append(result)
+    return results

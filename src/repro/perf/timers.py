@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 
 class StageTimers:
@@ -38,14 +38,29 @@ class StageTimers:
         finally:
             self.add(name, time.perf_counter() - started)
 
-    def merge(self, other: "StageTimers | Mapping[str, float]") -> None:
-        """Fold another timer's totals into this one (for reductions)."""
+    def merge(
+        self,
+        other: "StageTimers | Mapping[str, float | Sequence[float]]",
+    ) -> None:
+        """Fold another timer's totals into this one (for reductions).
+
+        Accepts another :class:`StageTimers`, a plain ``{stage: seconds}``
+        mapping (each entry counts as one call), or a
+        ``{stage: (seconds, calls)}`` mapping as produced by
+        :meth:`as_pairs` — the round-trip form that preserves call counts
+        through JSON, so merged reports stop under-counting per-call
+        latency.
+        """
         if isinstance(other, StageTimers):
             for name, seconds in other._seconds.items():
                 self.add(name, seconds, other._calls.get(name, 1))
-        else:
-            for name, seconds in other.items():
-                self.add(name, seconds)
+            return
+        for name, value in other.items():
+            if isinstance(value, (int, float)):
+                self.add(name, float(value))
+            else:
+                seconds, calls = value
+                self.add(name, float(seconds), int(calls))
 
     def seconds(self, stage: str) -> float:
         return self._seconds.get(stage, 0.0)
@@ -56,6 +71,13 @@ class StageTimers:
     def as_dict(self) -> dict[str, float]:
         """Stage totals in insertion order, ready for JSON serialization."""
         return dict(self._seconds)
+
+    def as_pairs(self) -> dict[str, tuple[float, int]]:
+        """``{stage: (seconds, calls)}`` — JSON round-trips via ``merge``."""
+        return {
+            name: (seconds, self._calls.get(name, 1))
+            for name, seconds in self._seconds.items()
+        }
 
     def report(self) -> str:
         """One line per stage: ``name  total_s  calls  per_call_ms``."""

@@ -1,11 +1,18 @@
-"""Minimal ASCII line charts for sweep series.
+"""Minimal ASCII line charts for sweep and trace series.
 
-The CLI runs in terminals without plotting libraries; this renders a sweep
+The CLI runs in terminals without plotting libraries; this renders series
 as a fixed-grid character chart so trends (who wins, crossings, flat
 baselines) are visible at a glance without leaving the shell.
+
+:func:`render_series_chart` is the generic grid renderer;
+:func:`render_ascii_chart` keeps the original sweep-facing signature and
+the `repro.obs` dashboard reuses the generic form for trace time series.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -15,23 +22,37 @@ from repro.sim.experiment import SweepResult
 _MARKERS = "ox*+#@%&"
 
 
-def render_ascii_chart(
-    sweep: SweepResult,
-    metric: str,
+def render_series_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
     *,
+    title: str,
+    x_label: str = "",
     width: int = 60,
     height: int = 16,
 ) -> str:
-    """Render one metric of a sweep as an ASCII chart with a legend."""
+    """Render named y-series over shared x-values as an ASCII grid chart.
+
+    NaN points are skipped (useful for trace series where a policy has no
+    sample at some slot).
+    """
     if width < 16 or height < 4:
         raise ConfigurationError("chart needs width >= 16 and height >= 4")
-    table = sweep.table(metric)
-    if not table:
-        raise ConfigurationError("sweep has no policies to plot")
-    values = np.asarray(sweep.values, dtype=np.float64)
-    all_y = np.array(list(table.values()), dtype=np.float64)
-    lo = float(all_y.min())
-    hi = float(all_y.max())
+    if not series:
+        raise ConfigurationError("chart needs at least one series")
+    values = np.asarray(list(x_values), dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("chart needs at least one x value")
+    all_y = [
+        float(y)
+        for ys in series.values()
+        for y in ys
+        if not math.isnan(float(y))
+    ]
+    if not all_y:
+        raise ConfigurationError("chart series contain no finite points")
+    lo = min(all_y)
+    hi = max(all_y)
     if hi - lo < 1e-12:
         hi = lo + 1.0
 
@@ -45,12 +66,15 @@ def render_ascii_chart(
         frac = (y - lo) / (hi - lo)
         return (height - 1) - int(round(frac * (height - 1)))
 
-    for idx, (name, series) in enumerate(table.items()):
+    for idx, (name, ys) in enumerate(series.items()):
         marker = _MARKERS[idx % len(_MARKERS)]
-        for v, y in zip(values, series):
-            grid[row(float(y))][col(float(v))] = marker
+        for v, y in zip(values, ys):
+            y = float(y)
+            if math.isnan(y):
+                continue
+            grid[row(y)][col(float(v))] = marker
 
-    lines = [f"{metric} vs {sweep.parameter}"]
+    lines = [title]
     lines.append(f"{hi:>12.1f} ┤" + "".join(grid[0]))
     for r in range(1, height - 1):
         lines.append(" " * 12 + " │" + "".join(grid[r]))
@@ -61,7 +85,28 @@ def render_ascii_chart(
         " " * 14 + f"{values.min():<10g}{'':^{max(width - 20, 0)}}{values.max():>10g}"
     )
     legend = "   ".join(
-        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(table)
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
     )
     lines.append(" " * 14 + legend)
     return "\n".join(lines)
+
+
+def render_ascii_chart(
+    sweep: SweepResult,
+    metric: str,
+    *,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one metric of a sweep as an ASCII chart with a legend."""
+    table = sweep.table(metric)
+    if not table:
+        raise ConfigurationError("sweep has no policies to plot")
+    return render_series_chart(
+        [float(v) for v in sweep.values],
+        {name: [float(y) for y in ys] for name, ys in table.items()},
+        title=f"{metric} vs {sweep.parameter}",
+        x_label=sweep.parameter,
+        width=width,
+        height=height,
+    )

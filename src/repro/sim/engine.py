@@ -44,6 +44,7 @@ from repro.network.costs import (
     replacement_count,
     sbs_operating_cost,
 )
+from repro.obs.recorder import current_recorder, emit
 from repro.scenario import PolicyPlan, Scenario, validate_plan
 from repro.types import FloatArray
 
@@ -118,7 +119,47 @@ def evaluate_plan(
     per_slot_repl = np.zeros(T)
     totals = CostBreakdown.zero()
     prev = scenario.x_initial
+    # Telemetry is gated once, not per emit: the per-slot event fields
+    # (churn counts, reroute detection) cost numpy work we skip entirely
+    # when no recorder is ambient.
+    recording = current_recorder() is not None
+    fault_mask = (
+        scenario.faults.active_mask(T)
+        if recording and faulted
+        else None
+    )
     for t in range(T):
+        if recording:
+            emit(
+                "slot_start",
+                slot=t,
+                policy=policy_name,
+                demand=float(scenario.demand.rates[t].sum()),
+            )
+            if fault_mask is not None:
+                if fault_mask[t] and (t == 0 or not fault_mask[t - 1]):
+                    emit("fault_injected", slot=t, policy=policy_name)
+                if not fault_mask[t] and t > 0 and fault_mask[t - 1]:
+                    emit("fault_cleared", slot=t, policy=policy_name)
+            inserted = int(np.sum((x[t] > 0.5) & (prev <= 0.5)))
+            evicted = int(np.sum((x[t] <= 0.5) & (prev > 0.5)))
+            if inserted:
+                emit("cache_insert", slot=t, policy=policy_name, count=inserted)
+            if evicted:
+                emit("cache_evict", slot=t, policy=policy_name, count=evicted)
+            if states is not None:
+                down = (states.bandwidths[t] <= 0.0) & (net.bandwidths > 0.0)
+                for n in np.flatnonzero(down):
+                    rerouted = float(
+                        scenario.demand.rates[t][net.class_sbs == n].sum()
+                    )
+                    emit(
+                        "reroute",
+                        slot=t,
+                        policy=policy_name,
+                        sbs=int(n),
+                        load=rerouted,
+                    )
         slot = CostBreakdown(
             bs_operating_cost(net, scenario.demand.rates[t], y[t], scenario.bs_cost),
             sbs_operating_cost(net, scenario.demand.rates[t], y[t], scenario.sbs_cost),
@@ -129,6 +170,17 @@ def evaluate_plan(
         per_slot_repl[t] = slot.replacements
         totals = totals + slot
         prev = x[t]
+        if recording:
+            emit(
+                "slot_end",
+                slot=t,
+                policy=policy_name,
+                total=float(slot.total),
+                bs=float(slot.bs_cost),
+                sbs=float(slot.sbs_cost),
+                replacement=float(slot.replacement),
+                replacements=int(slot.replacements),
+            )
 
     return RunResult(
         policy=policy_name,

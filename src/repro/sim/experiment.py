@@ -24,6 +24,7 @@ the aggregated metrics (mean over the requested seeds).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -37,12 +38,15 @@ from repro.core.online.chc import AFHC, CHC
 from repro.core.online.rhc import RHC
 from repro.exceptions import ConfigurationError
 from repro.network.topology import single_cell_network
-from repro.perf.executor import Executor, resolve_executor
+from repro.obs.recorder import current_recorder
+from repro.perf.executor import Executor, map_recorded, resolve_executor
 from repro.scenario import CachingPolicy, Scenario
 from repro.sim.engine import EvaluationMode, RunResult
 from repro.sim.runner import _run_policy_task, _stable_names
 from repro.workload.demand import paper_demand
 from repro.workload.predictor import PerturbedPredictor
+
+logger = logging.getLogger("repro.sim.experiment")
 
 #: Metrics recorded per (sweep value, policy); keys of the metric dicts.
 METRICS = (
@@ -255,26 +259,24 @@ def _run_sweep(
         layouts.append(seed_layout)
 
     ex = resolve_executor(executor, config=config)
-    if ex.workers > 1 and len(tasks) > 1:
+    recorder = current_recorder()
+    if recorder is not None:
+        # Recorded sweeps use the recorded fan-out on every backend so the
+        # trace is executor-invariant (see repro.perf.executor.map_recorded).
+        outcomes = map_recorded(ex, _run_policy_task, tasks, recorder)
+    elif ex.workers > 1 and len(tasks) > 1:
         outcomes = ex.map(_run_policy_task, tasks)
-        if verbose:
-            for label, result in zip(labels, outcomes):
-                print(
-                    f"[{label}] {result.policy:<16}"
-                    f" total={result.cost.total:12.1f}"
-                    f"  ({result.wall_time:.2f}s)"
-                )
     else:
-        outcomes = []
-        for label, task in zip(labels, tasks):
-            result = _run_policy_task(task)
-            outcomes.append(result)
-            if verbose:
-                print(
-                    f"[{label}] {result.policy:<16}"
-                    f" total={result.cost.total:12.1f}"
-                    f"  ({result.wall_time:.2f}s)"
-                )
+        outcomes = [_run_policy_task(task) for task in tasks]
+    if verbose:
+        for label, result in zip(labels, outcomes):
+            logger.info(
+                "[%s] %-16s total=%12.1f  (%.2fs)",
+                label,
+                result.policy,
+                result.cost.total,
+                result.wall_time,
+            )
 
     points = []
     for value, seed_layout in zip(values, layouts):

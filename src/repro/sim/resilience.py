@@ -23,6 +23,7 @@ what ``benchmarks/bench_resilience.py`` persists as ``BENCH_resilience``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -35,6 +36,8 @@ from repro.sim.engine import EvaluationMode, RunResult
 from repro.sim.experiment import default_policies, paper_scenario
 from repro.sim.metrics import cost_under_faults, time_to_recover
 from repro.sim.runner import run_policies
+
+logger = logging.getLogger("repro.sim.resilience")
 
 
 def default_fault_schedule(horizon: int, *, bandwidth_factor: float = 0.5) -> FaultSchedule:
@@ -159,13 +162,13 @@ def run_resilience(
     faulted_scenario = inject_faults(scenario, schedule)
 
     if verbose:
-        print(f"fault-free baseline ({len(policy_list)} policies):")
+        logger.info("fault-free baseline (%d policies):", len(policy_list))
     baseline = run_policies(
         scenario, policy_list, mode=mode, verbose=verbose,
         executor=executor, config=config,
     )
     if verbose:
-        print("faulted run:")
+        logger.info("faulted run:")
     faulted = run_policies(
         faulted_scenario, policy_list, mode=mode, verbose=verbose,
         executor=executor, config=config,

@@ -14,14 +14,18 @@ the serial and parallel branches identically.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping
 
 from repro.config import RuntimeConfig
-from repro.perf.executor import Executor, resolve_executor
+from repro.obs.recorder import current_recorder, label_scope
+from repro.perf.executor import Executor, map_recorded, resolve_executor
 from repro.scenario import CachingPolicy, PolicyPlan, Scenario
 from repro.sim.engine import EvaluationMode, RunResult, evaluate_plan
+
+logger = logging.getLogger("repro.sim.runner")
 
 
 @dataclass(frozen=True)
@@ -83,8 +87,11 @@ def run_policy(
     inside the worker when executed through a parallel executor.
     """
     started = time.perf_counter()
-    plan = policy.plan(scenario)
-    result = evaluate_plan(scenario, plan, policy_name=policy.name, mode=mode)
+    with label_scope(policy=policy.name):
+        plan = policy.plan(scenario)
+        result = evaluate_plan(
+            scenario, plan, policy_name=policy.name, mode=mode
+        )
     return replace(result, wall_time=time.perf_counter() - started)
 
 
@@ -115,18 +122,25 @@ def run_policies(
     """
     policy_list = _unique_names(list(policies))
     ex = resolve_executor(executor, config=config)
-    if ex.workers > 1 and len(policy_list) > 1:
-        outcomes = ex.map(
-            _run_policy_task, [(scenario, p, mode) for p in policy_list]
-        )
+    recorder = current_recorder()
+    tasks = [(scenario, p, mode) for p in policy_list]
+    if recorder is not None:
+        # Recorded runs use the recorded fan-out on EVERY backend, serial
+        # included: each task collects into a fresh recorder merged back in
+        # input order, so the trace bytes are executor-invariant.
+        outcomes = map_recorded(ex, _run_policy_task, tasks, recorder)
+    elif ex.workers > 1 and len(policy_list) > 1:
+        outcomes = ex.map(_run_policy_task, tasks)
     else:
         outcomes = [run_policy(scenario, p, mode=mode) for p in policy_list]
     results = {p.name: r for p, r in zip(policy_list, outcomes)}
     if verbose:
         for result in results.values():
-            print(
-                f"  {result.policy:<16} total={result.cost.total:12.1f}"
-                f"  ({result.wall_time:.2f}s)"
+            logger.info(
+                "  %-16s total=%12.1f  (%.2fs)",
+                result.policy,
+                result.cost.total,
+                result.wall_time,
             )
     return results
 

@@ -24,6 +24,7 @@ PUBLIC_API = [
     "CacheDegradation",
     "CachingPolicy",
     "ContentCatalog",
+    "ConvergenceTrace",
     "CostBreakdown",
     "DemandMatrix",
     "DemandSurge",
@@ -49,6 +50,7 @@ PUBLIC_API = [
     "PrimalDualResult",
     "QuadraticOperatingCost",
     "RHC",
+    "Recorder",
     "ResilienceReport",
     "RunResult",
     "RuntimeConfig",
@@ -57,8 +59,10 @@ PUBLIC_API = [
     "Scenario",
     "SmallBaseStation",
     "SolveBudget",
+    "StageTimers",
     "StaticTopK",
     "SweepResult",
+    "TraceEvent",
     "assert_feasible_under_faults",
     "bandwidth_sweep",
     "beta_sweep",
@@ -66,6 +70,7 @@ PUBLIC_API = [
     "compare_policies",
     "compute_edge_metrics",
     "cost_ratios",
+    "current_recorder",
     "default_fault_schedule",
     "default_policies",
     "diurnal_demand",
@@ -76,10 +81,14 @@ PUBLIC_API = [
     "noise_sweep",
     "paper_demand",
     "paper_scenario",
+    "read_trace",
+    "record_into",
     "render_headline_table",
     "render_resilience_table",
     "render_sweep_table",
+    "render_trace_dashboard",
     "replay_trace",
+    "run_manifest",
     "run_policies",
     "run_policy",
     "run_resilience",
@@ -90,6 +99,8 @@ PUBLIC_API = [
     "sweep",
     "sweep_to_dict",
     "window_sweep",
+    "write_manifest",
+    "write_trace",
 ]
 
 

@@ -118,3 +118,102 @@ class TestRedesignedCli:
         )
         assert code == 0
         assert "vs Offline" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def test_run_with_trace_writes_jsonl_and_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import manifest_path_for, read_trace, validate_manifest
+
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run", "--beta", "10", "--horizon", "5", "--window", "2",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        events = read_trace(trace)
+        assert events, "trace must contain events"
+        kinds = {e.kind for e in events}
+        assert {"slot_start", "slot_end", "solve_done"} <= kinds
+
+        manifest = json.loads(manifest_path_for(trace).read_text())
+        validate_manifest(manifest)
+        assert manifest["seed"] == 1
+        assert manifest["config"]["command"] == "run"
+        assert manifest["config"]["horizon"] == 5
+        assert manifest["trace"]["events"] == len(events)
+        # the manifest never names an executor backend
+        assert "executor" not in json.dumps(manifest)
+
+    def test_resilience_trace_digests_fault_schedule(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import manifest_path_for
+
+        trace = tmp_path / "res.jsonl"
+        code = main(
+            ["resilience", "--horizon", "8", "--window", "3", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path_for(trace).read_text())
+        assert manifest["fault_schedule_digest"] is not None
+
+    def test_obs_report_renders_dashboard(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "run", "--beta", "10", "--horizon", "5", "--window", "2",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        before = trace.read_bytes()
+        code = main(["obs", "report", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "per-slot cost" in out
+        assert "manifest: seed=1" in out
+        # reporting must never rewrite the artifact it reads
+        assert trace.read_bytes() == before
+
+    def test_verbose_prints_progress_via_logging(self, capsys):
+        code = main(
+            ["run", "--beta", "10", "--horizon", "4", "--window", "2", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[beta=10 seed=1]" in out
+
+    def test_verbose_trace_captures_log_events(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "run", "--beta", "10", "--horizon", "4", "--window", "2",
+                "--verbose", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        logs = [e for e in read_trace(trace) if e.kind == "log"]
+        assert logs
+        assert all(e.data["logger"].startswith("repro.") for e in logs)
+
+    def test_repeated_verbose_calls_do_not_stack_handlers(self, capsys):
+        import logging
+
+        baseline = len(logging.getLogger("repro").handlers)
+        for _ in range(2):
+            assert main(
+                ["run", "--beta", "10", "--horizon", "4", "--window", "2",
+                 "--verbose"]
+            ) == 0
+        capsys.readouterr()
+        assert len(logging.getLogger("repro").handlers) == baseline

@@ -1,0 +1,402 @@
+"""Unit tests for :mod:`repro.obs`: events, recorder, exporters, traces."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.primal_dual import solve_primal_dual
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    ConvergenceRecorder,
+    ConvergenceTrace,
+    Histogram,
+    MetricRegistry,
+    Recorder,
+    TraceEvent,
+    config_digest,
+    current_recorder,
+    emit,
+    inc,
+    label_scope,
+    manifest_path_for,
+    prometheus_snapshot,
+    read_trace,
+    record_into,
+    render_trace_dashboard,
+    run_manifest,
+    set_gauge,
+    slot_scope,
+    slot_series_csv,
+    trace_digest,
+    validate_manifest,
+    validate_trace,
+    write_manifest,
+    write_trace,
+)
+from repro.optim.fista import minimize_fista
+from repro.optim.subgradient import DUAL_ASCENT_COLUMNS
+
+
+class TestTraceEvent:
+    def test_fields_sorted_regardless_of_kwarg_order(self):
+        a = TraceEvent.make(0, "slot_start", 3, demand=1.0, policy="LRFU")
+        b = TraceEvent.make(0, "slot_start", 3, policy="LRFU", demand=1.0)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            TraceEvent.make(0, "teleport", 0)
+
+    def test_numpy_scalars_coerced(self):
+        event = TraceEvent.make(
+            0, "cache_insert", 1, count=np.int64(4), load=np.float64(2.5)
+        )
+        assert event.data == {"count": 4, "load": 2.5}
+        assert all(
+            type(v) in (int, float) for v in event.data.values()
+        )
+
+    def test_non_scalar_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-scalar"):
+            TraceEvent.make(0, "slot_start", 0, demand=[1.0, 2.0])
+
+    def test_non_finite_floats_become_strings(self):
+        event = TraceEvent.make(
+            0, "solve_done", None, gap=float("inf"), lb=float("-inf")
+        )
+        assert event.data == {"gap": "inf", "lb": "-inf"}
+        # the JSONL line must be strict JSON (no Infinity literal)
+        json.loads(event.to_json(), parse_constant=lambda c: pytest.fail(c))
+
+    def test_json_round_trip(self):
+        event = TraceEvent.make(7, "slot_end", 2, total=3.25, policy="RHC")
+        assert TraceEvent.from_dict(json.loads(event.to_json())) == event
+
+    def test_validate_trace_checks_numbering(self):
+        events = [
+            TraceEvent.make(0, "slot_start", 0),
+            TraceEvent.make(2, "slot_end", 0),
+        ]
+        with pytest.raises(ConfigurationError, match="seq gap"):
+            validate_trace(events)
+        events[1] = TraceEvent.make(1, "slot_end", 0)
+        assert validate_trace(events) == 2
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2]
+        assert hist.count == 3
+        assert hist.total == pytest.approx(55.5)
+        assert (hist.min, hist.max) == (0.5, 50.0)
+
+    def test_merge_pools(self):
+        a, b = Histogram(buckets=(1.0,)), Histogram(buckets=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert (a.count, a.counts) == (2, [1])
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge(Histogram(buckets=(2.0,)))
+
+
+class TestMetricRegistry:
+    def test_counter_labels_order_insensitive(self):
+        registry = MetricRegistry()
+        registry.inc("solves", labels={"policy": "RHC", "seed": 1})
+        registry.inc("solves", 2.0, labels={"seed": 1, "policy": "RHC"})
+        assert registry.counter("solves", {"policy": "RHC", "seed": 1}) == 3.0
+        assert registry.counter("solves") == 0.0
+
+    def test_gauge_last_write_wins_and_merge(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.set_gauge("gap", 0.5)
+        a.inc("n")
+        b.set_gauge("gap", 0.25)
+        b.inc("n", 2)
+        b.observe("iters", 12.0)
+        a.merge(b)
+        assert a.gauge("gap") == 0.25
+        assert a.counter("n") == 3.0
+        assert a.histogram("iters").count == 1
+
+    def test_to_dict_renders_label_keys(self):
+        registry = MetricRegistry()
+        registry.inc("solves", labels={"policy": "RHC"})
+        payload = registry.to_dict()
+        assert payload["counters"] == {"solves{policy=RHC}": 1.0}
+
+
+class TestRecorder:
+    def test_emit_numbers_consecutively(self):
+        recorder = Recorder()
+        recorder.emit("slot_start", slot=0)
+        recorder.emit("slot_end", slot=0, total=1.0)
+        assert [e.seq for e in recorder.events] == [0, 1]
+        assert len(recorder) == 2
+
+    def test_merge_renumbers_and_folds_metrics(self):
+        parent, child = Recorder(), Recorder()
+        parent.emit("slot_start", slot=0)
+        child.emit("slot_end", slot=0, total=2.0)
+        child.inc("windows")
+        parent.merge(child)
+        assert [e.seq for e in parent.events] == [0, 1]
+        assert parent.events[1].kind == "slot_end"
+        assert parent.metrics.counter("windows") == 1.0
+        validate_trace(parent.events)
+
+    def test_ambient_activation(self):
+        assert current_recorder() is None
+        emit("slot_start", slot=0)  # silently dropped
+        inc("n")
+        set_gauge("g", 1.0)
+        recorder = Recorder()
+        with record_into(recorder):
+            assert current_recorder() is recorder
+            emit("slot_start", slot=0)
+            inc("n")
+        assert current_recorder() is None
+        assert len(recorder.events) == 1
+        assert recorder.metrics.counter("n") == 1.0
+
+    def test_slot_and_label_scopes(self):
+        recorder = Recorder()
+        with record_into(recorder), slot_scope(5), label_scope(policy="RHC"):
+            emit("solve_done", iterations=3)
+            emit("solve_done", slot=7, policy="LRFU")  # explicit wins
+        first, second = recorder.events
+        assert first.slot == 5 and first.data["policy"] == "RHC"
+        assert second.slot == 7 and second.data["policy"] == "LRFU"
+
+    def test_log_bridge_routes_repro_records(self):
+        import logging
+
+        # the bridge handler sits on the "repro" logger; the record must
+        # clear the logger's effective level to reach it (the CLI sets
+        # INFO for --verbose, tests do it explicitly)
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        logger.setLevel(logging.INFO)
+        try:
+            recorder = Recorder()
+            with record_into(recorder):
+                logging.getLogger("repro.sim.runner").info("hello %d", 7)
+            outside = Recorder()  # not ambient: nothing routed
+            logging.getLogger("repro.sim.runner").info("dropped")
+        finally:
+            logger.setLevel(previous)
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == ["log"]
+        data = recorder.events[0].data
+        assert data["message"] == "hello 7"
+        assert data["logger"] == "repro.sim.runner"
+        assert data["level"] == "INFO"
+        assert outside.events == []
+
+
+class TestExporters:
+    @staticmethod
+    def _recorder() -> Recorder:
+        recorder = Recorder()
+        recorder.emit("slot_start", slot=0, policy="RHC", demand=2.0)
+        recorder.emit("slot_end", slot=0, policy="RHC", total=5.0, bs=3.0)
+        recorder.emit("slot_end", slot=1, policy="RHC", total=4.0, sbs=1.0)
+        recorder.inc("window_solves", labels={"controller": "RHC"})
+        recorder.observe("solve_iterations", 12.0)
+        return recorder
+
+    def test_trace_round_trip(self, tmp_path):
+        recorder = self._recorder()
+        path = write_trace(tmp_path / "run.jsonl", recorder)
+        events = read_trace(path)
+        assert events == recorder.events
+        assert trace_digest(events) == trace_digest(recorder.events)
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        path = write_trace(tmp_path / "empty.jsonl", Recorder())
+        assert path.read_text() == ""
+        assert read_trace(path) == []
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq":0,"kind":"slot_start","slot":0,"data":{}}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_prometheus_snapshot_format(self):
+        recorder = self._recorder()
+        text = prometheus_snapshot(recorder.metrics)
+        assert "# TYPE window_solves_total counter" in text
+        assert 'window_solves_total{controller="RHC"} 1' in text
+        assert "# TYPE solve_iterations histogram" in text
+        assert 'solve_iterations_bucket{le="+Inf"} 1' in text
+        assert "solve_iterations_sum 12" in text
+        assert "solve_iterations_count 1" in text
+
+    def test_slot_series_csv_unions_columns(self):
+        text = slot_series_csv(self._recorder().events)
+        lines = text.splitlines()
+        assert lines[0] == "slot,bs,policy,sbs,total"
+        assert lines[1] == "0,3.0,RHC,,5.0"
+        assert lines[2] == "1,,RHC,1.0,4.0"
+
+    def test_manifest_contents_and_validation(self, tmp_path):
+        recorder = self._recorder()
+        manifest = run_manifest(
+            seed=7,
+            config={"horizon": 4, "beta": 50.0},
+            events=recorder.events,
+            fault_schedule={"events": []},
+        )
+        validate_manifest(manifest)
+        assert manifest["seed"] == 7
+        assert manifest["config_hash"] == config_digest({"beta": 50.0, "horizon": 4})
+        assert manifest["trace"]["events"] == 3
+        assert manifest["trace"]["kinds"] == {"slot_end": 2, "slot_start": 1}
+        assert manifest["trace"]["digest"] == trace_digest(recorder.events)
+        assert manifest["fault_schedule_digest"] is not None
+        for pkg in ("python", "numpy", "scipy", "repro"):
+            assert pkg in manifest["packages"]
+        # executor-invariance: nothing in the manifest names a backend
+        assert "executor" not in json.dumps(manifest)
+
+        path = write_manifest(manifest_path_for(tmp_path / "run.jsonl"), manifest)
+        assert path.name == "run.manifest.json"
+        validate_manifest(json.loads(path.read_text()))
+
+    def test_validate_manifest_rejects_missing_fields(self):
+        manifest = run_manifest(seed=1, config={})
+        del manifest["packages"]
+        with pytest.raises(ConfigurationError, match="missing fields"):
+            validate_manifest(manifest)
+
+
+class TestConvergenceRecorder:
+    def test_columns_fixed_by_first_record(self):
+        recorder = ConvergenceRecorder("demo")
+        recorder.record(gap=1.0, step=0.5)
+        with pytest.raises(ConfigurationError, match="differ"):
+            recorder.record(gap=0.5)
+        trace = recorder.freeze()
+        assert trace.columns == ("gap", "step")
+        assert trace.series("gap") == (1.0,)
+        assert trace.final("step") == 0.5
+
+    def test_unknown_column_rejected(self):
+        trace = ConvergenceTrace("demo", ("gap",), ((1.0,),))
+        with pytest.raises(ConfigurationError, match="no column"):
+            trace.series("missing")
+
+    def test_dict_round_trip(self):
+        recorder = ConvergenceRecorder("demo")
+        recorder.record(gap=1.0)
+        recorder.record(gap=0.5)
+        trace = recorder.freeze()
+        assert ConvergenceTrace.from_dict(trace.to_dict()) == trace
+
+
+class TestFistaTrace:
+    def test_objective_monotone_non_increasing_on_convex_instance(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(12, 8))
+        Q = A.T @ A + 0.1 * np.eye(8)
+        b = rng.normal(size=8)
+
+        recorder = ConvergenceRecorder("fista")
+        result = minimize_fista(
+            lambda x: 0.5 * float(x @ Q @ x) - float(b @ x),
+            lambda x: Q @ x - b,
+            lambda x: np.clip(x, 0.0, None),
+            np.ones(8),
+            tol=1e-10,
+            recorder=recorder,
+        )
+        assert result.converged
+        assert result.trace is not None
+        assert result.trace.algorithm == "fista"
+        # accepted iterates only: restart iterations are not recorded
+        objectives = np.array(result.trace.series("objective"))
+        assert 0 < len(objectives) <= result.iterations
+        assert np.all(np.diff(objectives) <= 1e-12)
+        assert result.trace.final("objective") == pytest.approx(result.objective)
+
+    def test_trace_absent_without_recorder(self):
+        result = minimize_fista(
+            lambda x: float(x @ x),
+            lambda x: 2 * x,
+            lambda x: x,
+            np.ones(3),
+        )
+        assert result.trace is None
+
+
+class TestSubgradientTrace:
+    def test_dual_gap_trace_shrinks_below_tolerance(self, rng):
+        # slot-separable instance (no replacement cost): the duality gap of
+        # the integral caching vanishes, so the recorded gap closes fully
+        from repro.core.problem import JointProblem
+        from repro.network.topology import single_cell_network
+        from repro.workload.demand import paper_demand
+
+        net = single_cell_network(
+            num_items=4, cache_size=2, bandwidth=2.0, replacement_cost=0.0,
+            omega_bs=rng.uniform(0.1, 1.0, 3),
+        )
+        demand = paper_demand(3, 3, 4, rng=rng, density_range=(0.5, 3.0))
+        problem = JointProblem(net, demand.rates)
+        result = solve_primal_dual(problem, max_iter=400, gap_tol=1e-2)
+        assert result.converged
+        trace = result.convergence
+        assert trace is not None
+        assert trace.algorithm == "subgradient"
+        assert trace.columns == DUAL_ASCENT_COLUMNS
+        gaps = trace.series("gap")
+        assert len(gaps) == result.iterations
+        assert gaps[-1] <= 1e-2
+        assert gaps[-1] < gaps[0]
+        # the certified lower bound never regresses (running max)
+        lower = trace.series("lower_bound")
+        finite = [v for v in lower if np.isfinite(v)]
+        assert finite and finite == sorted(finite)
+        assert result.lower_bound == pytest.approx(finite[-1])
+
+    def test_solve_done_event_emitted_when_recording(self, tiny_problem):
+        recorder = Recorder()
+        with record_into(recorder):
+            result = solve_primal_dual(tiny_problem, max_iter=50, gap_tol=1e-4)
+        solve_events = [e for e in recorder.events if e.kind == "solve_done"]
+        assert len(solve_events) == 1
+        data = solve_events[0].data
+        assert data["iterations"] == result.iterations
+        assert data["converged"] == result.converged
+
+
+class TestDashboard:
+    def test_empty_trace_still_renders(self):
+        text = render_trace_dashboard([])
+        assert "no slot_end events" in text
+
+    def test_dashboard_charts_per_policy_cost(self):
+        recorder = Recorder()
+        for policy in ("RHC", "LRFU"):
+            for slot in range(4):
+                recorder.emit(
+                    "slot_end",
+                    slot=slot,
+                    policy=policy,
+                    total=10.0 + slot + (5.0 if policy == "LRFU" else 0.0),
+                )
+        recorder.emit("fault_injected", slot=1)
+        recorder.emit("fault_cleared", slot=2)
+        text = render_trace_dashboard(recorder.events)
+        assert "RHC" in text and "LRFU" in text
+        assert "faults: injected@1, cleared@2" in text
+        assert "slot_end" in text

@@ -14,6 +14,7 @@ from repro.perf.executor import (
     ThreadExecutor,
     default_workers,
     get_executor,
+    map_recorded,
     parse_spec,
     resolve_executor,
 )
@@ -155,9 +156,76 @@ class TestStageTimers:
         assert a.seconds("p1") == pytest.approx(3.0)
         assert a.seconds("repair") == pytest.approx(0.5)
 
+    def test_merge_preserves_call_counts(self):
+        a, b = StageTimers(), StageTimers()
+        a.add("p1", 1.0, calls=3)
+        b.add("p1", 2.0, calls=2)
+        a.merge(b)
+        assert a.calls("p1") == 5
+
+    def test_merge_accepts_seconds_mapping(self):
+        t = StageTimers()
+        t.merge({"p1": 1.5, "repair": 0.5})
+        assert t.seconds("p1") == pytest.approx(1.5)
+        assert t.calls("p1") == 1
+
+    def test_merge_accepts_pairs_mapping(self):
+        t = StageTimers()
+        t.merge({"p1": (1.5, 4), "repair": [0.5, 2]})
+        assert t.seconds("p1") == pytest.approx(1.5)
+        assert t.calls("p1") == 4
+        assert t.calls("repair") == 2
+
+    def test_as_pairs_round_trips_through_json(self):
+        import json
+
+        a = StageTimers()
+        a.add("p1", 1.25, calls=3)
+        a.add("repair", 0.5, calls=2)
+        payload = json.loads(json.dumps(a.as_pairs()))
+        b = StageTimers()
+        b.merge(payload)
+        assert b.as_pairs() == a.as_pairs()
+        assert b.calls("p1") == 3 and b.calls("repair") == 2
+
     def test_as_dict_and_report(self):
         t = StageTimers()
         t.add("p1", 1.25)
         d = t.as_dict()
         assert d == {"p1": pytest.approx(1.25)}
         assert "p1" in t.report()
+
+
+def _emit_square(x: int) -> int:
+    """Task used by TestMapRecorded (module-level so process pools pickle it)."""
+    from repro.obs.recorder import emit, inc
+
+    emit("slot_start", slot=x, task=x)
+    inc("tasks")
+    return x * x
+
+
+class TestMapRecorded:
+    @pytest.mark.parametrize("spec", ["serial", "thread:2", "process:2"])
+    def test_results_and_trace_in_input_order(self, spec):
+        from repro.obs.recorder import Recorder
+
+        recorder = Recorder()
+        results = map_recorded(get_executor(spec), _emit_square, [3, 1, 2], recorder)
+        assert results == [9, 1, 4]
+        # events arrive renumbered in task-input order, not completion order
+        assert [e.data["task"] for e in recorder.events] == [3, 1, 2]
+        assert [e.seq for e in recorder.events] == [0, 1, 2]
+        assert recorder.metrics.counter("tasks") == 3.0
+
+    def test_parent_recorder_not_ambient_in_tasks(self):
+        from repro.obs.recorder import Recorder, record_into
+
+        parent = Recorder()
+        with record_into(parent):
+            recorder = Recorder()
+            map_recorded(get_executor("serial"), _emit_square, [1], recorder)
+        # task events land in the per-task recorders (merged into `recorder`),
+        # never directly in the ambient parent
+        assert parent.events == []
+        assert [e.kind for e in recorder.events] == ["slot_start"]
