@@ -68,6 +68,7 @@ from repro.obs import (
     write_trace,
 )
 from repro.optim import SolveBudget
+from repro.perf.solvecache import SolveCache
 from repro.perf.timers import StageTimers
 from repro.scenario import CachingPolicy, PolicyPlan, Scenario
 from repro.sim.discrete import replay_trace
@@ -181,6 +182,7 @@ __all__ = [
     # configuration
     "RuntimeConfig",
     "SolveBudget",
+    "SolveCache",
     # scenario building blocks
     "BaseStation",
     "ContentCatalog",

@@ -166,6 +166,8 @@ def _cmd_resilience(args: argparse.Namespace) -> dict | None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> dict | None:
+    if getattr(args, "bench_command", None) == "diff":
+        return _cmd_bench_diff(args)
     bench_dir = Path(args.path) if args.path else _default_bench_dir()
     if bench_dir is None or not bench_dir.is_dir():
         print(
@@ -184,6 +186,25 @@ def _cmd_bench(args: argparse.Namespace) -> dict | None:
     code = pytest.main(argv)
     if code != 0:
         raise SystemExit(int(code))
+    return None
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> dict | None:
+    """``repro bench diff <old> <new>`` — compare two BENCH_*.json records.
+
+    Exits non-zero when the two records have identical configuration
+    digests and any shared wall-time field regressed by more than
+    ``--threshold`` (default 10%). With differing digests the runs are not
+    comparable, so timings are reported but never gated.
+    """
+    from repro.perf.benchdiff import diff_bench, load_bench, render_bench_diff
+
+    comparison = diff_bench(
+        load_bench(args.old), load_bench(args.new), threshold=args.threshold
+    )
+    print(render_bench_diff(comparison))
+    if comparison.gate_failed:
+        raise SystemExit(1)
     return None
 
 
@@ -284,7 +305,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_common(ps)
 
-    pb = sub.add_parser("bench", help="run the benchmark suite (BENCH_*.json)")
+    pb = sub.add_parser(
+        "bench", help="run the benchmark suite (BENCH_*.json) or diff its records"
+    )
     pb.add_argument(
         "--scale",
         choices=("quick", "full", "paper"),
@@ -293,6 +316,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     pb.add_argument("--filter", type=str, default=None, help="pytest -k expression")
     pb.add_argument("--path", type=str, default=None, help="benchmarks directory")
+    pb_sub = pb.add_subparsers(dest="bench_command", metavar="{run,diff}")
+    pb_run = pb_sub.add_parser("run", help="run the suite (the default)")
+    # SUPPRESS keeps values parsed before the sub-verb ('bench --scale full
+    # run') from being clobbered by the subparser's defaults.
+    pb_run.add_argument(
+        "--scale", choices=("quick", "full", "paper"), default=argparse.SUPPRESS
+    )
+    pb_run.add_argument("--filter", type=str, default=argparse.SUPPRESS)
+    pb_run.add_argument("--path", type=str, default=argparse.SUPPRESS)
+    pb_diff = pb_sub.add_parser(
+        "diff", help="compare two BENCH_*.json records, gate on wall-time"
+    )
+    pb_diff.add_argument("old", help="baseline BENCH_*.json")
+    pb_diff.add_argument("new", help="candidate BENCH_*.json")
+    pb_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="gated wall-time regression fraction (default 0.10); the gate "
+        "only fires when the records' configuration digests match",
+    )
 
     pz = sub.add_parser(
         "resilience", help="policies under a seeded fault schedule (outage + degradation)"

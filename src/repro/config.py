@@ -28,6 +28,11 @@ EXECUTOR_ENV = "REPRO_EXECUTOR"
 BACKEND_ENV = "REPRO_CACHING_BACKEND"
 FLOW_REUSE_ENV = "REPRO_FLOW_REUSE"
 
+#: Supported (non-deprecated) switch for the incremental re-solve layer —
+#: CI uses it to A/B the layer without touching call sites, so unlike the
+#: variables above it does not warn. ``0`` disables; anything else enables.
+INCREMENTAL_ENV = "REPRO_INCREMENTAL"
+
 _WARNED: set[str] = set()
 
 
@@ -86,12 +91,18 @@ class RuntimeConfig:
     flow_reuse:
         Whether the flow backend pools built graphs across same-shape
         solves (formerly ``REPRO_FLOW_REUSE``; default on).
+    incremental:
+        Whether the incremental re-solve layer is active (default on):
+        per-SBS ``P1`` memoization, warm-resumed min-cost flow, and
+        cross-window warm-candidate seeding in the online controllers.
+        ``REPRO_INCREMENTAL=0`` is the supported environment override.
     """
 
     executor: str | None = None
     workers: int | None = None
     caching_backend: str | None = None
     flow_reuse: bool | None = None
+    incremental: bool | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -125,3 +136,10 @@ def resolved_flow_reuse(config: RuntimeConfig | None) -> bool:
         return config.flow_reuse
     env = deprecated_env(FLOW_REUSE_ENV)
     return env != "0"
+
+
+def resolved_incremental(config: RuntimeConfig | None) -> bool:
+    """Incremental re-solve layer: config field, else env, else on."""
+    if config is not None and config.incremental is not None:
+        return config.incremental
+    return os.environ.get(INCREMENTAL_ENV, "") != "0"

@@ -39,9 +39,11 @@ from repro.config import (
 )
 from repro.exceptions import ConfigurationError, SolverError
 from repro.network.topology import Network
+from repro.obs.recorder import inc
 from repro.optim.linprog import solve_lp
-from repro.optim.mincostflow import MinCostFlow
+from repro.optim.mincostflow import FlowState, MinCostFlow
 from repro.perf.executor import Executor, resolve_executor
+from repro.perf.solvecache import SolveCache, p1_digest
 from repro.types import FloatArray, is_binary
 
 CachingBackend = Literal["auto", "flow", "lp", "lp-simplex"]
@@ -107,6 +109,7 @@ def solve_caching(
     backend: CachingBackend = "auto",
     executor: Executor | str | None = None,
     config: RuntimeConfig | None = None,
+    cache: SolveCache | None = None,
 ) -> CachingSolution:
     """Solve ``P1`` given multipliers ``mu`` of shape ``(T, M, K)``.
 
@@ -120,6 +123,14 @@ def solve_caching(
     to the serial path. All runtime knobs — including flow-graph reuse —
     are resolved here in the parent, so worker processes never consult the
     environment.
+
+    With a :class:`repro.perf.solvecache.SolveCache` the per-SBS solves
+    become incremental: byte-identical subproblems are answered from the
+    digest-exact memo without solving, and flow-backend misses resume the
+    SBS's previous flow instead of cold-starting. All cache bookkeeping
+    (memo lookups, counter increments, warm-state handoff) happens here in
+    the parent, so results and recorded telemetry stay bit-identical
+    across executors.
     """
     backend = resolve_backend(backend, mu.shape[0] * network.num_items, config=config)
     if backend not in ("flow", "lp", "lp-simplex"):
@@ -131,43 +142,96 @@ def solve_caching(
     if np.any(mu < -1e-9):
         raise ConfigurationError("dual prices must be non-negative")
     T = mu.shape[0]
+    K = network.num_items
     prices = class_prices(network, mu)
     reuse = resolved_flow_reuse(config)
+    want_state = cache is not None and backend == "flow"
 
-    tasks = [
-        (
-            prices[:, n, :],
-            float(network.replacement_costs[n]),
-            int(network.cache_sizes[n]),
-            np.asarray(x_initial[n], dtype=np.float64),
-            backend,
-            reuse,
-        )
-        for n in range(network.num_sbs)
-    ]
+    results: list[tuple[FloatArray, float] | None] = [None] * network.num_sbs
+    tasks = []
+    miss_meta: list[tuple[int, bytes, tuple[int, int, int, int]]] = []
+    hits_before = cache.hits if cache is not None else 0
+    for n in range(network.num_sbs):
+        c_n = prices[:, n, :]
+        beta_n = float(network.replacement_costs[n])
+        cap_n = int(network.cache_sizes[n])
+        x0_n = np.asarray(x_initial[n], dtype=np.float64)
+        warm: FlowState | None = None
+        if cache is not None:
+            key = p1_digest(c_n, beta_n, cap_n, x0_n)
+            hit = cache.lookup(key)
+            if hit is not None:
+                results[n] = hit
+                continue
+            state_key = (n, T, K, cap_n)
+            warm = cache.warm_state_for(state_key) if want_state else None
+            miss_meta.append((n, key, state_key))
+        else:
+            miss_meta.append((n, b"", (n, T, K, cap_n)))
+        tasks.append((c_n, beta_n, cap_n, x0_n, backend, reuse, warm, want_state))
+
     ex = resolve_executor(executor, config=config)
     if ex.workers > 1 and len(tasks) > 1:
         solved = ex.map(_solve_sbs_task, tasks)
     else:
         solved = [_solve_sbs_task(task) for task in tasks]
 
-    x = np.zeros((T, network.num_sbs, network.num_items))
+    resumes = bailouts = 0
+    for (n, key, state_key), (xn, obj, state, resumed, bailed) in zip(
+        miss_meta, solved
+    ):
+        results[n] = (xn, obj)
+        if cache is not None:
+            cache.store(key, xn, obj)
+            if state is not None:
+                cache.flow_states[state_key] = state
+            if resumed:
+                cache.note_resume(state_key, bool(bailed))
+            cache.warm_resumes += resumed
+            cache.warm_bailouts += bailed
+            resumes += resumed
+            bailouts += bailed
+    if cache is not None:
+        hits = cache.hits - hits_before
+        if hits:
+            inc("p1_memo_hits", hits)
+        if miss_meta:
+            inc("p1_memo_misses", len(miss_meta))
+        if resumes:
+            inc("flow_warm_resumes", resumes)
+        if bailouts:
+            inc("flow_warm_bailouts", bailouts)
+
+    x = np.zeros((T, network.num_sbs, K))
     objective = 0.0
-    for n, (xn, obj) in enumerate(solved):
+    for n, entry in enumerate(results):
+        assert entry is not None
+        xn, obj = entry
         x[:, n, :] = xn
         objective += obj
     return CachingSolution(x=x, objective=objective)
 
 
 def _solve_sbs_task(
-    task: tuple[FloatArray, float, int, FloatArray, str, bool],
-) -> tuple[FloatArray, float]:
-    """One SBS's ``P1`` solve — module-level so process executors can use it."""
-    c, beta, cap, x0, backend, reuse = task
+    task: tuple[FloatArray, float, int, FloatArray, str, bool, "FlowState | None", bool],
+) -> tuple[FloatArray, float, "FlowState | None", int, int]:
+    """One SBS's ``P1`` solve — module-level so process executors can use it.
+
+    Returns ``(x, objective, flow_state, warm_resumes, warm_bailouts)``;
+    the last three are ``(None, 0, 0)`` unless the caller asked for warm
+    state (flow backend with an active :class:`SolveCache`).
+    """
+    c, beta, cap, x0, backend, reuse, warm, want_state = task
     if backend == "flow":
-        return _solve_single_sbs_flow(c, beta, cap, x0, reuse=reuse)
+        if want_state:
+            return _solve_single_sbs_flow(
+                c, beta, cap, x0, reuse=reuse, warm_state=warm, want_state=True
+            )
+        xn, obj = _solve_single_sbs_flow(c, beta, cap, x0, reuse=reuse)
+        return xn, obj, None, 0, 0
     lp_backend = "scipy" if backend == "lp" else "simplex"
-    return _solve_single_sbs_lp(c, beta, cap, x0, lp_backend=lp_backend)
+    xn, obj = _solve_single_sbs_lp(c, beta, cap, x0, lp_backend=lp_backend)
+    return xn, obj, None, 0, 0
 
 
 def caching_objective(
@@ -273,7 +337,9 @@ def _solve_single_sbs_flow(
     x0: FloatArray,
     *,
     reuse: bool | None = None,
-) -> tuple[FloatArray, float]:
+    warm_state: FlowState | None = None,
+    want_state: bool = False,
+):
     """Min-cost-flow solve for one SBS (see :func:`_build_flow_template`).
 
     ``reuse`` pools the built graph across solves of the same shape
@@ -281,22 +347,36 @@ def _solve_single_sbs_flow(
     ``REPRO_FLOW_REUSE=0`` disables). A reused solve is bit-identical to a
     fresh-graph solve: the rewound capacities and rewritten costs
     reproduce the exact graph a fresh build would create.
+
+    Returns ``(x, objective)``; with ``want_state=True`` the return is
+    ``(x, objective, flow_state, warm_resumes, warm_bailouts)`` and, when
+    ``warm_state`` is given, the solve resumes from it
+    (:meth:`repro.optim.mincostflow.MinCostFlow.resume`) instead of
+    cold-starting.
     """
     T, K = c.shape
     if cap == 0:
-        return np.zeros((T, K)), 0.0
+        zero = np.zeros((T, K))
+        return (zero, 0.0, None, 0, 0) if want_state else (zero, 0.0)
     if reuse is None:
         reuse = resolved_flow_reuse(None)
 
     template = _acquire_template(T, K, cap) if reuse else _build_flow_template(T, K, cap)
     g = template.graph
-    g.reset()
     fetch_costs = np.full((T, K), float(beta))
     fetch_costs[0, np.asarray(x0) > 0.5] = 0.0
     g.set_arc_costs(template.fetch_arcs, fetch_costs)
     g.set_arc_costs(template.hold_arcs, -np.asarray(c, dtype=np.float64))
 
-    result = g.solve(template.src, template.snk, cap, dag=True)
+    resumed = bailed = 0
+    if warm_state is not None:
+        result = g.resume(template.src, template.snk, cap, warm_state, dag=True)
+        resumed = 1
+        bailed = int(g.last_resume_bailed)
+    else:
+        g.reset()
+        result = g.solve(template.src, template.snk, cap, dag=True)
+    state = g.export_state() if want_state else None
     x = result.arc_flow[template.hold_arcs]
     if reuse:
         _release_template(T, K, cap, template)
@@ -306,6 +386,8 @@ def _solve_single_sbs_flow(
         )
     x = np.where(x > 0.5, 1.0, 0.0)
     obj = _objective_single(c, beta, x, x0)
+    if want_state:
+        return x, obj, state, resumed, bailed
     return x, obj
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config import RuntimeConfig, resolved_incremental
 from repro.core.caching_lp import CachingBackend
 from repro.core.primal_dual import PrimalDualResult, solve_primal_dual
 from repro.faults.degrade import (
@@ -33,6 +34,7 @@ from repro.faults.degrade import (
     sbs_item_values,
 )
 from repro.obs.recorder import inc, slot_scope
+from repro.perf.solvecache import SolveCache
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -60,6 +62,14 @@ class OnlineSolveSettings:
         then the best feasible one found so far. ``None`` (default) means
         uncapped. Keeps a degraded or surge-stressed slot from stalling
         the rest of the horizon.
+    incremental:
+        Whether the incremental re-solve layer is active for this
+        controller: every window seeds the previous window's committed
+        trajectory (shifted to the new slots) as a feasible incumbent, and
+        one :class:`repro.perf.solvecache.SolveCache` — ``P1`` memo plus
+        warm flow states — is carried across the whole window sequence.
+        ``None`` (default) defers to ``RuntimeConfig(incremental=...)`` /
+        ``REPRO_INCREMENTAL`` (default on).
     """
 
     max_iter: int = 40
@@ -67,6 +77,17 @@ class OnlineSolveSettings:
     caching_backend: CachingBackend = "auto"
     ub_patience: int | None = 8
     max_seconds: float | None = None
+    incremental: bool | None = None
+
+    def resolved_incremental(self) -> bool:
+        """The effective incremental flag (field, else env, else on)."""
+        if self.incremental is not None:
+            return self.incremental
+        return resolved_incremental(None)
+
+    def make_solve_cache(self) -> SolveCache | None:
+        """A fresh per-plan :class:`SolveCache`, or ``None`` when disabled."""
+        return SolveCache() if self.resolved_incremental() else None
 
 
 def solve_window(
@@ -78,6 +99,7 @@ def solve_window(
     settings: OnlineSolveSettings,
     mu_warm: FloatArray | None,
     x_warm: FloatArray | None = None,
+    solve_cache: SolveCache | None = None,
 ) -> PrimalDualResult:
     """Solve one prediction window with Algorithm 1.
 
@@ -86,11 +108,15 @@ def solve_window(
     FHC variants). Slots before 0 or past the trace see zero demand, per
     the paper's convention.
 
-    Under an active fault schedule the window problem is built on the
-    degraded network observed at ``decided_at``, and ``x_warm`` — a
-    previous window's caching trajectory, shifted to this window's slots —
-    is evicted-to-fit the effective capacities and handed to Algorithm 1
-    as a feasible incumbent (warm restart from the last feasible point).
+    ``x_warm`` — a previous window's caching trajectory, shifted to this
+    window's slots — seeds Algorithm 1 as a feasible incumbent and a
+    pre-warmed repair-cache entry. Under an active fault schedule the
+    window problem is built on the degraded network observed at
+    ``decided_at`` and the seed is first evicted-to-fit the effective
+    capacities (warm restart from the last feasible point); on the
+    fault-free path the seeding is gated by ``settings.incremental``
+    (cross-window reuse, default on). ``solve_cache`` carries the ``P1``
+    memo and warm flow states across the caller's whole window sequence.
     """
     predicted = scenario.predictor.predict_window(
         max(decided_at, 0), window_start, window
@@ -109,6 +135,12 @@ def solve_window(
                 [sbs_item_values(scenario.network, predicted[t]) for t in range(window)]
             )
             candidates = (evict_trajectory_to_fit(x_warm, caps_t, values_t),)
+    elif (
+        settings.resolved_incremental()
+        and x_warm is not None
+        and x_warm.shape[0] == window
+    ):
+        candidates = (x_warm,)
     problem = scenario.window_problem(predicted, x_prev, network=network)
     mu0 = None
     if mu_warm is not None and mu_warm.shape == (window, *predicted.shape[1:]):
@@ -116,6 +148,13 @@ def solve_window(
     inc("window_solves")
     if mu0 is not None:
         inc("window_solves_warm_started")
+    if candidates is not None:
+        inc("window_solves_candidate_seeded")
+    config = (
+        RuntimeConfig(incremental=settings.incremental)
+        if settings.incremental is not None
+        else None
+    )
     # Stamp the deciding slot onto every event the inner solver emits
     # (solve_done, budget_exhausted), so traces tie each solve to its slot.
     with slot_scope(max(window_start, 0)):
@@ -128,7 +167,30 @@ def solve_window(
             ub_patience=settings.ub_patience,
             initial_candidates=candidates,
             max_seconds=settings.max_seconds,
+            config=config,
+            solve_cache=solve_cache,
         )
+
+
+def record_cache_stats(cache: SolveCache | None, controller: str) -> None:
+    """Report a plan's :class:`SolveCache` counters, labeled per controller.
+
+    The unlabeled ``p1_memo_*`` / ``flow_warm_*`` counters accumulate
+    per-call inside ``solve_caching``; these labeled totals additionally
+    attribute the reuse to the controller whose plan owned the cache (the
+    benchmark report reads them per policy).
+    """
+    if cache is None:
+        return
+    labels = {"controller": controller}
+    if cache.hits:
+        inc("p1_memo_hits", cache.hits, labels=labels)
+    if cache.misses:
+        inc("p1_memo_misses", cache.misses, labels=labels)
+    if cache.warm_resumes:
+        inc("flow_warm_resumes", cache.warm_resumes, labels=labels)
+    if cache.warm_bailouts:
+        inc("flow_warm_bailouts", cache.warm_bailouts, labels=labels)
 
 
 def shift_mu(mu: FloatArray, shift: int) -> FloatArray:

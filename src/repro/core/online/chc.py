@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.online.base import OnlineSolveSettings
+from repro.core.online.base import OnlineSolveSettings, record_cache_stats
 from repro.core.online.fhc import run_fhc_variant
 from repro.core.rounding import (
     optimal_rounding_threshold,
@@ -82,6 +82,10 @@ class CHC:
             )
         )
         solves = 0
+        # One cache across all variants: they run sequentially, so sharing
+        # stays deterministic, and overlapping variant windows can answer
+        # each other's byte-identical P1 subproblems from the memo.
+        cache = self.settings.make_solve_cache()
         for v in range(self.commitment):
             traj = run_fhc_variant(
                 scenario,
@@ -89,11 +93,13 @@ class CHC:
                 window=self.window,
                 commitment=self.commitment,
                 settings=self.settings,
+                solve_cache=cache,
             )
             x_sum += traj.x
             y_sum += traj.y
             solves += traj.solves
             inc("fhc_variants_run", labels={"controller": self.name})
+        record_cache_stats(cache, self.name)
         x_avg = x_sum / self.commitment
         y_avg = y_sum / self.commitment
         rho = self.rho if self.rho is not None else optimal_rounding_threshold()

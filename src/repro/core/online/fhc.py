@@ -18,6 +18,7 @@ from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
 from repro.exceptions import ConfigurationError
 from repro.faults.degrade import realize_slot, scenario_states
 from repro.obs.recorder import inc
+from repro.perf.solvecache import SolveCache
 from repro.scenario import Scenario
 from repro.types import FloatArray
 
@@ -46,8 +47,14 @@ def run_fhc_variant(
     window: int,
     commitment: int,
     settings: OnlineSolveSettings,
+    solve_cache: SolveCache | None = None,
 ) -> FixedHorizonTrajectory:
-    """Run FHC variant ``v`` with window ``w`` and commitment level ``r``."""
+    """Run FHC variant ``v`` with window ``w`` and commitment level ``r``.
+
+    ``solve_cache`` shares incremental re-solve state with the caller (CHC
+    passes one cache across all its variants); when omitted, a per-variant
+    cache is created if the incremental layer is enabled.
+    """
     if not 1 <= commitment <= window:
         raise ConfigurationError(
             f"commitment must be in [1, window={window}], got {commitment}"
@@ -62,6 +69,9 @@ def run_fhc_variant(
     solves = 0
     faulted = scenario.faults is not None and not scenario.faults.is_empty
     states = scenario_states(scenario) if faulted else None
+    incremental = settings.resolved_incremental()
+    if solve_cache is None:
+        solve_cache = settings.make_solve_cache()
     for tau in fhc_solve_times(variant, commitment, T):
         result = solve_window(
             scenario,
@@ -72,6 +82,7 @@ def run_fhc_variant(
             settings=settings,
             mu_warm=mu_warm,
             x_warm=x_warm,
+            solve_cache=solve_cache,
         )
         solves += 1
         slots = committed_slots(tau, commitment, T)
@@ -91,7 +102,12 @@ def run_fhc_variant(
                     x[t], x_prev, states.slot(t), scenario.demand.rates[t], net
                 )
             x_warm = shift_mu(result.x, commitment)
-        elif len(slots):
-            x_prev = x[slots[-1]]
+        else:
+            if len(slots):
+                x_prev = x[slots[-1]]
+            # Cross-window reuse: this window's trajectory, shifted past
+            # the committed block, seeds the variant's next solve.
+            if incremental:
+                x_warm = shift_mu(result.x, commitment)
         mu_warm = shift_mu(result.mu, commitment)
     return FixedHorizonTrajectory(x=x, y=y, solves=solves)

@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.online.base import OnlineSolveSettings, shift_mu, solve_window
+from repro.core.online.base import (
+    OnlineSolveSettings,
+    record_cache_stats,
+    shift_mu,
+    solve_window,
+)
 from repro.exceptions import ConfigurationError
 from repro.faults.degrade import realize_slot, scenario_states
 from repro.obs.recorder import inc, label_scope
@@ -59,6 +64,8 @@ class RHC:
         solves = 0
         faulted = scenario.faults is not None and not scenario.faults.is_empty
         states = scenario_states(scenario) if faulted else None
+        incremental = self.settings.resolved_incremental()
+        cache = self.settings.make_solve_cache()
         for tau in range(T):
             result = solve_window(
                 scenario,
@@ -69,6 +76,7 @@ class RHC:
                 settings=self.settings,
                 mu_warm=mu_warm,
                 x_warm=x_warm,
+                solve_cache=cache,
             )
             solves += 1
             inc("controller_commits", labels={"controller": "RHC"})
@@ -84,5 +92,10 @@ class RHC:
                 x_warm = shift_mu(result.x, 1)
             else:
                 x_prev = x[tau]
+                # Cross-window reuse: the committed trajectory, shifted one
+                # slot, seeds the next window as a feasible incumbent.
+                if incremental:
+                    x_warm = shift_mu(result.x, 1)
             mu_warm = shift_mu(result.mu, 1)
+        record_cache_stats(cache, self.name)
         return PolicyPlan(x=x, y=y, solves=solves)

@@ -31,7 +31,7 @@ from typing import Literal, Mapping
 
 import numpy as np
 
-from repro.config import RuntimeConfig
+from repro.config import RuntimeConfig, resolved_incremental
 from repro.core.caching_lp import CachingBackend, solve_caching
 from repro.core.load_balancing import solve_p2, solve_y_given_x
 from repro.core.problem import JointProblem
@@ -42,6 +42,7 @@ from repro.obs.recorder import emit
 from repro.optim.budget import SolveBudget
 from repro.optim.subgradient import dual_ascent_recorder
 from repro.perf.executor import Executor, resolve_executor
+from repro.perf.solvecache import SolveCache
 from repro.perf.timers import StageTimers
 from repro.types import DEFAULT_GAP_TOL, FloatArray
 
@@ -118,6 +119,7 @@ def solve_primal_dual(
     executor: Executor | str | None = None,
     max_seconds: float | None = None,
     config: RuntimeConfig | None = None,
+    solve_cache: SolveCache | None = None,
 ) -> PrimalDualResult:
     """Run Algorithm 1 on ``problem``.
 
@@ -162,6 +164,17 @@ def solve_primal_dual(
         Runtime knobs (:class:`repro.config.RuntimeConfig`) consulted when
         ``executor`` / backend choices are not given explicitly; falls back
         to the deprecated environment variables.
+    solve_cache:
+        Incremental re-solve state (:class:`repro.perf.solvecache.SolveCache`)
+        shared with related solves — the online controllers pass one cache
+        across their whole window sequence. When omitted and the
+        incremental layer is enabled (``RuntimeConfig(incremental=...)`` /
+        ``REPRO_INCREMENTAL``; default on), a private per-call cache is
+        created so within-solve reuse still applies. A cache also enables
+        the *best-dual recovery* step: when the loop stops without
+        converging, the caching trajectory at the best dual point is
+        re-derived (free, via the memo) and evaluated as one extra
+        feasible candidate.
     """
     if max_iter <= 0:
         raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
@@ -173,6 +186,8 @@ def solve_primal_dual(
     if mu.shape != problem.y_shape:
         raise ConfigurationError(f"mu0 shape {mu.shape} != {problem.y_shape}")
     ex = resolve_executor(executor, config=config)
+    if solve_cache is None and resolved_incremental(config):
+        solve_cache = SolveCache()
     timers = StageTimers()
     solve_started = time.perf_counter()
     budget = SolveBudget(max_seconds=max_seconds) if max_seconds is not None else None
@@ -207,8 +222,12 @@ def solve_primal_dual(
         if best_cost is None or c_cost.total < best_cost.total:
             best_cost, best_x, best_y = c_cost, cx, cy
 
+    mu_best: FloatArray | None = None
+    mu_solved: FloatArray | None = None
     for iteration in range(1, max_iter + 1):
         iterations = iteration
+        mu_solved = mu
+        reanchor = False
         with timers.stage("p1"):
             caching = solve_caching(
                 problem.network,
@@ -217,6 +236,7 @@ def solve_primal_dual(
                 backend=caching_backend,
                 executor=ex,
                 config=config,
+                cache=solve_cache,
             )
         with timers.stage("p2"):
             balancing = solve_p2(problem, mu, y0=y_warm, budget=budget)
@@ -229,6 +249,9 @@ def solve_primal_dual(
             1.0, abs(lower_bound)
         ):
             lower_bound = dual_value
+            # The subgradient update rebinds ``mu`` to a fresh array, so
+            # aliasing (no copy) is safe here.
+            mu_best = mu
             since_lb_improved = 0
         else:
             since_lb_improved += 1
@@ -236,6 +259,15 @@ def solve_primal_dual(
             if since_lb_improved >= 5:
                 relax = max(relax * 0.5, 0.05)
                 since_lb_improved = 0
+                # With a memo, also re-anchor the ascent at the best dual
+                # point seen: the gradient step is skipped this iteration,
+                # so the next one re-solves ``mu_best`` byte-identically —
+                # ``P1`` comes straight from the memo — and the relaxed
+                # ascent continues from the best point instead of wherever
+                # the overshoot drifted.
+                if solve_cache is not None and mu_best is not None and mu_best is not mu:
+                    mu = mu_best
+                    reanchor = True
 
         # Feasible repair: keep P1's caches, re-solve y exactly under them.
         # P1 often revisits the same caches as mu oscillates, so repairs
@@ -278,6 +310,8 @@ def solve_primal_dual(
             # for the current mu and the repair certified it.
             converged = gap <= gap_tol
             stop = True
+        elif reanchor:
+            pass  # mu was rebound to mu_best above; re-solve it next
         else:
             surplus = max(best_cost.total - dual_value, 0.0)
             if step == "polyak":
@@ -300,6 +334,46 @@ def solve_primal_dual(
             break
 
     assert best_cost is not None and best_x is not None and best_y is not None
+
+    # Best-dual recovery: a loop that stopped without converging (patience
+    # or iteration cap) last solved ``P1`` at a *worse* dual point than the
+    # best one seen. Re-deriving the caching trajectory at ``mu_best`` is
+    # free with the memo (its per-SBS subproblems were solved when the best
+    # dual was recorded) and evaluating it can only improve the committed
+    # feasible candidate — the classic primal-recovery-at-best-dual step.
+    if (
+        solve_cache is not None
+        and not converged
+        and not stopped_by_budget
+        and mu_best is not None
+        and mu_solved is not None
+        and mu_best is not mu_solved
+        and mu_best.tobytes() != mu_solved.tobytes()
+    ):
+        with timers.stage("p1"):
+            recovered = solve_caching(
+                problem.network,
+                mu_best,
+                problem.x_initial,
+                backend=caching_backend,
+                executor=ex,
+                config=config,
+                cache=solve_cache,
+            )
+        x_key = recovered.x.tobytes()
+        cached = repair_cache.get(x_key)
+        if cached is None:
+            with timers.stage("repair"):
+                repaired_y = solve_y_given_x(problem, recovered.x).y
+            candidate = problem.cost(recovered.x, repaired_y)
+            repair_cache[x_key] = (repaired_y, candidate)
+        else:
+            repaired_y, candidate = cached
+        if candidate.total < best_cost.total - 1e-12:
+            best_cost, best_x, best_y = candidate, recovered.x, repaired_y
+            gap = (best_cost.total - lower_bound) / max(abs(best_cost.total), 1e-12)
+            converged = gap <= gap_tol
+
     timers.add("total", time.perf_counter() - solve_started)
     timings = timers.as_dict()
     emit(

@@ -1,0 +1,169 @@
+"""Incremental re-solve state shared across Algorithm 1 invocations.
+
+Algorithm 1 calls ``solve_caching`` once per subgradient iteration, and the
+online controllers repeat that over windows overlapping in ``w - 1`` slots,
+so near-identical per-SBS ``P1`` subproblems are solved thousands of times
+per run. :class:`SolveCache` carries the three pieces of reuse state that
+make the repeats cheap (DESIGN.md, "Incremental re-solve"):
+
+- an exact **per-SBS memo**: each SBS solve is keyed on a blake2b digest of
+  its ``(c_slice, x_initial_slice, cap, beta)`` bytes; a hit skips the
+  solve entirely and returns the stored ``(x, objective)``. Because the key
+  is digest-exact, hits cannot change any numeric output — a hit is the
+  bitwise answer a cold solve would produce.
+- per-SBS **warm flow states** (:class:`repro.optim.mincostflow.FlowState`):
+  the previous solve's flow and node potentials, resumed instead of
+  cold-started on a miss. A resume only pays off when the price change
+  left the retained flow (near-)optimal — large subgradient steps create
+  negative residual cycles and every attempt bails to a cold solve — so
+  consecutive bails put the state key on an exponential cooldown
+  (:meth:`SolveCache.warm_state_for`), with periodic re-probes that
+  re-enable resumes as soon as the ascent settles into small steps.
+- plain **hit/miss counters**, incremented by the owner in the parent
+  process (ContextVars do not cross pool workers), so recorded metric
+  streams stay byte-identical across serial/thread/process executors.
+
+A cache is owned by one logical solve sequence — a controller ``plan()``
+or a single ``solve_primal_dual`` call — never shared across concurrently
+running plans, which keeps counter ordering deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.optim.mincostflow import FlowState
+
+#: Memo entries retained per cache (LRU). A 100-slot online run performs a
+#: few hundred subgradient iterations, each contributing one entry per SBS,
+#: so the default never evicts in practice while still bounding memory.
+MEMO_LIMIT = 4096
+
+#: Longest resume cooldown (in skipped attempts) a key can accumulate.
+BACKOFF_CAP = 64
+
+
+def p1_digest(c: FloatArray, beta: float, cap: int, x0: FloatArray) -> bytes:
+    """Exact identity of one SBS's ``P1`` subproblem, as a blake2b digest.
+
+    Keyed on the raw bytes of the price slice and initial cache state plus
+    the packed ``(cap, beta)`` scalars and the slice shape — byte-equal
+    inputs, and only byte-equal inputs, collide (up to hash collisions,
+    negligible at 16-byte digests).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(struct.pack("<qqqd", c.shape[0], c.shape[1], cap, beta))
+    h.update(np.ascontiguousarray(c).tobytes())
+    h.update(np.ascontiguousarray(x0).tobytes())
+    return h.digest()
+
+
+@dataclass
+class SolveCache:
+    """Reuse state for a sequence of related ``P1`` solves.
+
+    Attributes
+    ----------
+    memo:
+        LRU digest -> ``(x_bits, objective)`` map; ``x_bits`` is the
+        integral trajectory stored compactly as ``uint8``.
+    flow_states:
+        Per-SBS warm-resume snapshots for the flow backend.
+    hits, misses:
+        Memo lookup counters (exact skips vs. real solves).
+    warm_resumes, warm_bailouts:
+        Flow solves that started from a retained state, and the subset
+        whose settle failed so they fell back to a cold solve.
+    resume_backoff:
+        Per state key ``[strikes, cooldown]``: consecutive bails and the
+        number of upcoming attempts to skip (doubling per strike, capped
+        at :data:`BACKOFF_CAP`). A settled resume clears the entry.
+    """
+
+    memo: "OrderedDict[bytes, tuple[np.ndarray, float]]" = field(
+        default_factory=OrderedDict
+    )
+    flow_states: "dict[tuple[int, int, int, int], FlowState]" = field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+    warm_resumes: int = 0
+    warm_bailouts: int = 0
+    memo_limit: int = MEMO_LIMIT
+    resume_backoff: "dict[tuple[int, int, int, int], list[int]]" = field(
+        default_factory=dict
+    )
+
+    def lookup(self, key: bytes) -> tuple[FloatArray, float] | None:
+        """Return the memoized ``(x, objective)`` for ``key``, if present.
+
+        Counts the hit/miss; the returned trajectory is a fresh float
+        array (callers may write it into larger buffers).
+        """
+        entry = self.memo.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.memo.move_to_end(key)
+        x_bits, obj = entry
+        return x_bits.astype(np.float64), obj
+
+    def store(self, key: bytes, x: FloatArray, objective: float) -> None:
+        """Memoize a solved ``(x, objective)`` under ``key`` (LRU-bounded)."""
+        self.memo[key] = (x.astype(np.uint8), objective)
+        self.memo.move_to_end(key)
+        while len(self.memo) > self.memo_limit:
+            self.memo.popitem(last=False)
+
+    def warm_state_for(
+        self, state_key: tuple[int, int, int, int]
+    ) -> "FlowState | None":
+        """The stored warm state for ``state_key``, unless it is cooling down.
+
+        Each call during a cooldown consumes one tick, so the key is
+        automatically re-probed when the cooldown runs out.
+        """
+        state = self.flow_states.get(state_key)
+        if state is None:
+            return None
+        backoff = self.resume_backoff.get(state_key)
+        if backoff is not None and backoff[1] > 0:
+            backoff[1] -= 1
+            return None
+        return state
+
+    def note_resume(self, state_key: tuple[int, int, int, int], bailed: bool) -> None:
+        """Record a resume outcome, updating the key's backoff schedule."""
+        if not bailed:
+            self.resume_backoff.pop(state_key, None)
+            return
+        backoff = self.resume_backoff.setdefault(state_key, [0, 0])
+        backoff[0] += 1
+        backoff[1] = min(1 << backoff[0], BACKOFF_CAP)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the memo (0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot for telemetry and benchmark reports."""
+        return {
+            "p1_memo_hits": self.hits,
+            "p1_memo_misses": self.misses,
+            "p1_memo_hit_rate": self.hit_rate,
+            "flow_warm_resumes": self.warm_resumes,
+            "flow_warm_bailouts": self.warm_bailouts,
+        }

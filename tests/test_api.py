@@ -59,6 +59,7 @@ PUBLIC_API = [
     "Scenario",
     "SmallBaseStation",
     "SolveBudget",
+    "SolveCache",
     "StageTimers",
     "StaticTopK",
     "SweepResult",

@@ -217,3 +217,108 @@ class TestTraceCli:
             ) == 0
         capsys.readouterr()
         assert len(logging.getLogger("repro").handlers) == baseline
+
+
+class TestBenchDiff:
+    """``repro bench diff`` and its ``repro.perf.benchdiff`` backend."""
+
+    @staticmethod
+    def _record(serial=10.0, parallel=8.0, scale="quick", total=100.0, **extra):
+        record = {
+            "bench": "headline",
+            "scale": scale,
+            "beta": 50.0,
+            "serial_seconds": serial,
+            "parallel_seconds": parallel,
+            "speedup": serial / parallel,
+            "workers": 4,
+            "executor": "process:4",
+            "cpu_count": 4,
+            "costs_identical": True,
+            "sweep": {
+                "parameter": "beta",
+                "values": [50.0],
+                "policies": ["Offline"],
+                "points": [
+                    {"value": 50.0, "metrics": {"Offline": {"total": total}}}
+                ],
+            },
+        }
+        record.update(extra)
+        return record
+
+    def _write(self, tmp_path, name, record):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_identical_records_pass(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self._record())
+        new = self._write(tmp_path, "new.json", self._record())
+        assert main(["bench", "diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "config: identical" in out
+        assert "OK: no wall-time regression" in out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self._record(serial=10.0))
+        new = self._write(tmp_path, "new.json", self._record(serial=11.5))
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "diff", old, new])
+        assert exc.value.code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "serial_seconds" in out
+
+    def test_threshold_flag_loosens_gate(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self._record(serial=10.0))
+        new = self._write(tmp_path, "new.json", self._record(serial=11.5))
+        assert main(["bench", "diff", old, new, "--threshold", "0.2"]) == 0
+        capsys.readouterr()
+
+    def test_differing_configs_never_gate(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self._record(scale="quick"))
+        new = self._write(
+            tmp_path, "new.json", self._record(scale="full", serial=99.0)
+        )
+        assert main(["bench", "diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "config: DIFFERS" in out
+        assert "wall-time gate disabled" in out
+
+    def test_strategy_fields_do_not_break_comparability(self, tmp_path, capsys):
+        """incremental on/off A/B runs of the same problem stay gated."""
+        old = self._write(
+            tmp_path, "old.json", self._record(serial=10.0, incremental=False)
+        )
+        new = self._write(
+            tmp_path,
+            "new.json",
+            self._record(
+                serial=6.0,
+                incremental=True,
+                solve_counters={"p1_memo_hits": 9.0},
+            ),
+        )
+        assert main(["bench", "diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "config: identical" in out
+        assert "p1_memo_hits" in out
+
+    def test_cost_drift_reported(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", self._record(total=100.0))
+        new = self._write(tmp_path, "new.json", self._record(total=95.0))
+        assert main(["bench", "diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "cost drift (1 entries)" in out
+        assert "Offline/total" in out
+
+    def test_rejects_non_bench_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            main(["bench", "diff", str(path), str(path)])

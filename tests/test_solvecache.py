@@ -1,0 +1,269 @@
+"""Tests for the incremental re-solve layer (``repro.perf.solvecache``).
+
+The layer's two load-bearing invariants (DESIGN.md, "Incremental
+re-solve"):
+
+- **digest-exact skips only** — a memo hit returns bitwise the answer the
+  cold solve produced, so hit/miss patterns can never change a number;
+- **warm-resume matches cold solve** — ``MinCostFlow.resume`` agrees with
+  ``cold_solve`` to 1e-9 on the optimal cost for arbitrary price changes,
+  including sign flips, either by settling or by deterministically bailing
+  to the cold path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import RuntimeConfig, resolved_incremental
+from repro.core.caching_lp import _build_flow_template, solve_caching
+from repro.exceptions import ConfigurationError
+from repro.network.topology import single_cell_network
+from repro.optim.mincostflow import MinCostFlow
+from repro.perf.solvecache import BACKOFF_CAP, SolveCache, p1_digest
+
+
+def _network(rng, *, num_classes=4, num_items=6, cache_size=2):
+    return single_cell_network(
+        num_items=num_items,
+        cache_size=cache_size,
+        bandwidth=6.0,
+        replacement_cost=5.0,
+        omega_bs=rng.uniform(0.1, 1.0, num_classes),
+    )
+
+
+class TestP1Digest:
+    def test_equal_inputs_equal_digest(self):
+        c = np.arange(12, dtype=np.float64).reshape(3, 4)
+        x0 = np.array([1.0, 0.0, 0.0, 1.0])
+        assert p1_digest(c, 5.0, 2, x0) == p1_digest(c.copy(), 5.0, 2, x0.copy())
+
+    def test_any_byte_change_changes_digest(self):
+        c = np.arange(12, dtype=np.float64).reshape(3, 4)
+        x0 = np.zeros(4)
+        base = p1_digest(c, 5.0, 2, x0)
+        c2 = c.copy()
+        c2[1, 2] = np.nextafter(c2[1, 2], np.inf)
+        assert p1_digest(c2, 5.0, 2, x0) != base
+        assert p1_digest(c, np.nextafter(5.0, 6.0), 2, x0) != base
+        assert p1_digest(c, 5.0, 3, x0) != base
+        x1 = x0.copy()
+        x1[0] = 1.0
+        assert p1_digest(c, 5.0, 2, x1) != base
+
+    def test_shape_is_part_of_the_key(self):
+        flat = np.arange(12, dtype=np.float64)
+        x0 = np.zeros(4)
+        assert p1_digest(flat.reshape(3, 4), 5.0, 2, x0) != p1_digest(
+            flat.reshape(4, 3), 5.0, 2, x0
+        )
+
+
+class TestSolveCacheMemo:
+    def test_lookup_counts_and_round_trips_exactly(self):
+        cache = SolveCache()
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cache.lookup(b"k") is None
+        cache.store(b"k", x, -3.25)
+        hit = cache.lookup(b"k")
+        assert hit is not None
+        got_x, got_obj = hit
+        assert got_x.dtype == np.float64
+        assert np.array_equal(got_x, x)
+        assert got_obj == -3.25
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_respects_limit(self):
+        cache = SolveCache(memo_limit=2)
+        x = np.zeros((1, 1))
+        cache.store(b"a", x, 0.0)
+        cache.store(b"b", x, 1.0)
+        assert cache.lookup(b"a") is not None  # refresh 'a'
+        cache.store(b"c", x, 2.0)  # evicts 'b'
+        assert cache.lookup(b"b") is None
+        assert cache.lookup(b"a") is not None
+        assert cache.lookup(b"c") is not None
+
+    def test_stats_keys(self):
+        stats = SolveCache().stats()
+        assert set(stats) == {
+            "p1_memo_hits",
+            "p1_memo_misses",
+            "p1_memo_hit_rate",
+            "flow_warm_resumes",
+            "flow_warm_bailouts",
+        }
+
+
+class TestResumeBackoff:
+    def test_bails_trigger_exponential_cooldown(self):
+        cache = SolveCache()
+        key = (0, 3, 4, 2)
+        cache.flow_states[key] = "state"  # duck-typed: only identity matters
+        assert cache.warm_state_for(key) == "state"
+        cache.note_resume(key, bailed=True)
+        # cooldown 2: two skipped attempts, then a re-probe
+        assert cache.warm_state_for(key) is None
+        assert cache.warm_state_for(key) is None
+        assert cache.warm_state_for(key) == "state"
+        cache.note_resume(key, bailed=True)  # second strike: cooldown 4
+        skips = sum(cache.warm_state_for(key) is None for _ in range(4))
+        assert skips == 4
+        assert cache.warm_state_for(key) == "state"
+
+    def test_cooldown_caps_and_success_clears(self):
+        cache = SolveCache()
+        key = (0, 3, 4, 2)
+        cache.flow_states[key] = "state"
+        for _ in range(12):
+            cache.note_resume(key, bailed=True)
+        assert cache.resume_backoff[key][1] == BACKOFF_CAP
+        cache.note_resume(key, bailed=False)
+        assert key not in cache.resume_backoff
+        assert cache.warm_state_for(key) == "state"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_memo_hits_return_exact_cold_solutions(seed: int):
+    """Cached solve of a repeating mu sequence == uncached, bit for bit."""
+    rng = np.random.default_rng(seed)
+    net = _network(rng)
+    T, M, K = 4, net.num_classes, net.num_items
+    x_initial = np.zeros((net.num_sbs, K))
+    x_initial[0, rng.integers(0, K)] = 1.0
+
+    distinct = [rng.uniform(0.0, 8.0, size=(T, M, K)) for _ in range(3)]
+    # A sequence with byte-identical repeats, as the stall re-anchor and
+    # best-dual recovery produce.
+    order = [0, 1, 0, 2, 1, 0]
+    cache = SolveCache()
+    for i, idx in enumerate(order):
+        mu = distinct[idx]
+        cached = solve_caching(net, mu, x_initial, cache=cache)
+        cold = solve_caching(net, mu, x_initial, cache=None)
+        assert np.array_equal(cached.x, cold.x)
+        assert cached.objective == cold.objective
+    # Every repeat is answered per-SBS from the memo.
+    repeats = len(order) - len(set(order))
+    assert cache.hits == repeats * net.num_sbs
+    assert cache.misses == len(set(order)) * net.num_sbs
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_warm_resume_matches_cold_solve(seed: int):
+    """resume() == cold_solve() on random perturbations incl. sign flips."""
+    rng = np.random.default_rng(seed)
+    T, K, cap = 5, 6, 2
+    template = _build_flow_template(T, K, cap)
+    g = template.graph
+    beta = float(rng.uniform(0.0, 5.0))
+    x0 = (rng.random(K) > 0.6).astype(np.float64)
+
+    def apply_costs(c):
+        fetch = np.full((T, K), beta)
+        fetch[0, x0 > 0.5] = 0.0
+        g.set_arc_costs(template.fetch_arcs, fetch)
+        g.set_arc_costs(template.hold_arcs, -c)
+
+    c = rng.uniform(0.0, 4.0, size=(T, K))
+    apply_costs(c)
+    g.reset()
+    g.solve(template.src, template.snk, cap, dag=True)
+    state = g.export_state()
+
+    for _ in range(6):
+        scale = float(rng.choice([0.01, 0.5, 3.0]))
+        c = np.maximum(c + rng.normal(0.0, scale, size=(T, K)), 0.0)
+        apply_costs(c)
+        warm = g.resume(template.src, template.snk, cap, state, dag=True)
+        state = g.export_state()
+        cold = g.cold_solve(template.src, template.snk, cap, dag=True)
+        assert warm.amount == cold.amount == cap
+        assert warm.cost == pytest.approx(cold.cost, abs=1e-9, rel=1e-9)
+
+
+class TestResumeUnit:
+    def _solved_template(self):
+        rng = np.random.default_rng(7)
+        T, K, cap = 4, 5, 2
+        template = _build_flow_template(T, K, cap)
+        g = template.graph
+        c = rng.uniform(0.0, 3.0, size=(T, K))
+        fetch = np.full((T, K), 2.0)
+        g.set_arc_costs(template.fetch_arcs, fetch)
+        g.set_arc_costs(template.hold_arcs, -c)
+        g.solve(template.src, template.snk, cap, dag=True)
+        return template, g, cap
+
+    def test_resume_rejects_mismatched_state(self):
+        template, g, cap = self._solved_template()
+        state = g.export_state()
+        other = MinCostFlow(3)
+        other.add_arc(0, 1, 1, 0.0)
+        other.add_arc(1, 2, 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            other.resume(0, 2, 1, state)
+
+    def test_resume_with_unchanged_costs_is_a_noop_rerun(self):
+        template, g, cap = self._solved_template()
+        baseline = g.cold_solve(template.src, template.snk, cap, dag=True)
+        state = g.export_state()
+        warm = g.resume(template.src, template.snk, cap, state, dag=True)
+        assert not g.last_resume_bailed
+        assert warm.amount == baseline.amount
+        assert warm.cost == pytest.approx(baseline.cost, abs=1e-12)
+        assert np.array_equal(warm.arc_flow, baseline.arc_flow)
+
+    def test_export_before_solve_raises(self):
+        g = MinCostFlow(2)
+        g.add_arc(0, 1, 1, 0.0)
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError):
+            g.export_state()
+
+
+class TestIncrementalConfig:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INCREMENTAL", raising=False)
+        assert resolved_incremental(None) is True
+
+    def test_env_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        assert resolved_incremental(None) is False
+
+    def test_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        assert resolved_incremental(RuntimeConfig(incremental=True)) is True
+        monkeypatch.delenv("REPRO_INCREMENTAL")
+        assert resolved_incremental(RuntimeConfig(incremental=False)) is False
+
+
+class TestCacheAcrossExecutors:
+    def test_counters_and_results_identical_serial_vs_thread(self):
+        rng = np.random.default_rng(3)
+        net = _network(rng, num_classes=3, num_items=5, cache_size=2)
+        T = 4
+        x_initial = np.zeros((net.num_sbs, net.num_items))
+        mus = [rng.uniform(0.0, 6.0, size=(T, 3, 5)) for _ in range(3)]
+        mus.append(mus[0])  # one repeat
+
+        outcomes = {}
+        for executor in ("serial", "thread:2"):
+            cache = SolveCache()
+            results = [
+                solve_caching(net, mu, x_initial, cache=cache, executor=executor)
+                for mu in mus
+            ]
+            outcomes[executor] = (
+                [(r.x.tobytes(), r.objective) for r in results],
+                cache.stats(),
+            )
+        assert outcomes["serial"] == outcomes["thread:2"]
+        assert outcomes["serial"][1]["p1_memo_hits"] == 1
