@@ -29,7 +29,7 @@ from repro.api import (
     render_headline_table,
     sweep_to_dict,
 )
-from repro.config import resolved_incremental
+from repro.config import resolved_batched, resolved_incremental
 
 PARALLEL_WORKERS = 4
 
@@ -37,6 +37,9 @@ PARALLEL_WORKERS = 4
 _SOLVE_COUNTERS = (
     "p1_memo_hits",
     "p1_memo_misses",
+    "p1_batched_solves",
+    "p1_batched_fallbacks",
+    "p1_quant_memo_hits",
     "flow_warm_resumes",
     "flow_warm_bailouts",
 )
@@ -95,6 +98,11 @@ def test_headline_beta50(benchmark, bench_scale, save_report, save_json):
     )
     payload = {
         "beta": 50.0,
+        # ``batched`` lives at the top level on purpose: it enters the
+        # config digest, so ``repro bench diff`` tells a batched-strategy
+        # change apart from a workload change instead of gating wall-times
+        # across them.
+        "batched": resolved_batched(None),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,
@@ -148,3 +156,14 @@ def test_headline_beta50(benchmark, bench_scale, save_report, save_json):
     # online legs).
     if payload["incremental"]:
         assert payload["solve_counters"]["p1_memo_hits"] > 0
+
+    # With the batched core on, every memo miss must be accounted for by
+    # the relaxation pass: either answered there or counted as a fallback
+    # to the per-SBS backends. (Misses are only counted when the memo is
+    # active, so the identity needs the incremental layer too.)
+    if payload["batched"] and payload["incremental"]:
+        counters = payload["solve_counters"]
+        assert (
+            counters["p1_batched_solves"] + counters["p1_batched_fallbacks"]
+            == counters["p1_memo_misses"]
+        )

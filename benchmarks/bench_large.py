@@ -1,0 +1,248 @@
+"""Scale=large benchmark: the workload the batched core unlocks.
+
+``N = 500`` SBSs, ``K = 10,000`` contents, ``M = 1,000`` MU classes with a
+multiplicity of ~1,000 users per class (~1e6 users total; a class's demand
+density is the aggregate of its users' request rates, which is exactly how
+the paper's demand model composes). This instance is out of reach for the
+per-SBS loop paths: one min-cost-flow ``P1`` solve at ``K = 10,000`` costs
+seconds, and Algorithm 1 needs 500 of them per subgradient iteration. The
+batched certificate kernel answers all 500 in one vectorized pass, and the
+stacked ``P2`` water-fill replaces 500 per-SBS solves with one.
+
+Three legs, each timed into ``BENCH_large.json``:
+
+- ``p2_kernel``: one stacked ``P2`` solve (R = N*T rows, J = 20,000
+  columns) under generic positive prices — the overloaded paper regime,
+  so rows are bandwidth-bound and the legacy bisection is exercised at
+  full width.
+- ``p1_batched``: one ``solve_caching`` over all 500 SBSs with sparse
+  hot-set prices, plus the loop path on a small subsample to measure the
+  per-SBS cost it replaces (the full loop run is the infeasible case —
+  its projected time is reported, not measured).
+- ``mini_alg1``: two full subgradient iterations of Algorithm 1 on the
+  true demand — every stage (P1, P2, rounding, the fixed-cache oracle)
+  at scale.
+
+Opt-in: the whole module skips unless ``REPRO_BENCH_LARGE=1`` (the
+scheduled CI job sets it; the quick-scale benches stay the default). The
+record carries the batched solve counters and their accounting identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.caching_lp import solve_caching
+from repro.core.load_balancing import solve_p2
+from repro.core.primal_dual import solve_primal_dual
+from repro.core.problem import JointProblem
+from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.obs import Recorder, record_into, run_manifest, write_manifest
+from repro.perf.solvecache import SolveCache
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_LARGE") != "1",
+    reason="scale=large is opt-in: set REPRO_BENCH_LARGE=1",
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SEED = 7
+NUM_SBS = 500
+CLASSES_PER_SBS = 2
+NUM_ITEMS = 10_000
+USERS_PER_CLASS = 1_000  # class multiplicity -> ~1e6 users
+HORIZON = 2
+CACHE_SIZE = 12
+BETA = 4.0
+BANDWIDTH = 2.0  # ~half the mean offered load: the paper's overload regime
+HOT_ITEMS = 5
+LOOP_SAMPLE = 4  # SBSs measured on the loop path (the full 500 is the
+# infeasible case this bench exists to document)
+
+_COUNTERS = ("p1_memo_misses", "p1_batched_solves", "p1_batched_fallbacks")
+
+
+def _build_workload():
+    """Network + demand; densities aggregate ~1e3 users per class."""
+    rng = np.random.default_rng(SEED)
+    num_classes = NUM_SBS * CLASSES_PER_SBS
+    network = Network(
+        ContentCatalog(NUM_ITEMS),
+        tuple(
+            SmallBaseStation(n, CACHE_SIZE, BANDWIDTH, BETA)
+            for n in range(NUM_SBS)
+        ),
+        tuple(
+            MUClass(m, m // CLASSES_PER_SBS, float(rng.uniform(0.5, 1.5)))
+            for m in range(num_classes)
+        ),
+    )
+    # Zipf(0.8, shift 30) catalog popularity, independently permuted per
+    # class; per-class density ~ U[0, 4] is the aggregate of ~1e3 users'
+    # individual rates (scaling users and rates jointly leaves the
+    # optimization instance unchanged — multiplicity, not magnitude).
+    zipf = (np.arange(1, NUM_ITEMS + 1) + 30.0) ** -0.8
+    zipf /= zipf.sum()
+    pref = np.stack([rng.permutation(zipf) for _ in range(num_classes)])
+    density = rng.uniform(0.0, 4.0, size=(HORIZON, num_classes))
+    demand = density[:, :, None] * pref[None, :, :]
+    return network, JointProblem(network=network, demand=demand), rng
+
+
+def _counters(recorder: Recorder) -> dict[str, float]:
+    return {name: recorder.metrics.counter(name) for name in _COUNTERS}
+
+
+def test_large_scale(save_report):
+    build_started = time.perf_counter()
+    network, problem, rng = _build_workload()
+    build_seconds = time.perf_counter() - build_started
+
+    # ---- leg 1: one stacked P2 solve under generic positive prices.
+    mu_generic = rng.exponential(0.05, size=problem.y_shape)
+    started = time.perf_counter()
+    p2 = solve_p2(problem, mu_generic)
+    p2_seconds = time.perf_counter() - started
+    assert np.isfinite(p2.objective)
+
+    # ---- leg 2: all-SBS P1 through the batched certificate pass, with
+    # sparse hot-set prices (a handful of clearly-priced items per class,
+    # the post-warmup shape of the subgradient iterates).
+    mu_p1 = np.zeros(problem.y_shape)
+    for m in range(network.num_classes):
+        hot = rng.choice(NUM_ITEMS, size=HOT_ITEMS, replace=False)
+        mu_p1[:, m, hot] = (
+            rng.uniform(1.5, 2.5, size=(HORIZON, HOT_ITEMS)) * BETA / HORIZON
+        )
+    x0 = np.zeros((NUM_SBS, NUM_ITEMS))
+    p1_recorder = Recorder()
+    started = time.perf_counter()
+    with record_into(p1_recorder):
+        p1 = solve_caching(
+            network, mu_p1, x0, backend="flow", cache=SolveCache()
+        )
+    p1_seconds = time.perf_counter() - started
+    assert np.isfinite(p1.objective)
+    p1_counters = _counters(p1_recorder)
+    assert p1_counters["p1_batched_solves"] > 0
+    assert (
+        p1_counters["p1_batched_solves"] + p1_counters["p1_batched_fallbacks"]
+        == p1_counters["p1_memo_misses"]
+        == NUM_SBS
+    )
+
+    # The loop path on a subsample, to price what the batch replaced. The
+    # subnetwork is a prefix slice, so SBS/class ids keep their positions.
+    sub = Network(
+        network.catalog,
+        network.sbss[:LOOP_SAMPLE],
+        network.mu_classes[: LOOP_SAMPLE * CLASSES_PER_SBS],
+    )
+    started = time.perf_counter()
+    loop = solve_caching(
+        sub,
+        mu_p1[:, : LOOP_SAMPLE * CLASSES_PER_SBS, :],
+        x0[:LOOP_SAMPLE],
+        backend="flow",
+        config=RuntimeConfig(batched=False),
+    )
+    loop_sample_seconds = time.perf_counter() - started
+    loop_projected_seconds = loop_sample_seconds / LOOP_SAMPLE * NUM_SBS
+    # Same answer, both granularities (the subsample is exactly the first
+    # LOOP_SAMPLE coordinates of the batched solve).
+    assert np.array_equal(loop.x, p1.x[:, :LOOP_SAMPLE, :])
+
+    # ---- leg 3: two full subgradient iterations of Algorithm 1.
+    alg1_recorder = Recorder()
+    started = time.perf_counter()
+    with record_into(alg1_recorder):
+        result = solve_primal_dual(
+            problem,
+            max_iter=2,
+            caching_backend="flow",
+            solve_cache=SolveCache(),
+            max_seconds=1800.0,  # safety net, not the expected stop
+        )
+    alg1_seconds = time.perf_counter() - started
+    alg1_counters = _counters(alg1_recorder)
+    assert alg1_counters["p1_batched_solves"] > 0
+    assert (
+        alg1_counters["p1_batched_solves"]
+        + alg1_counters["p1_batched_fallbacks"]
+        == alg1_counters["p1_memo_misses"]
+    )
+    assert np.isfinite(result.cost.total)
+    assert result.lower_bound <= result.cost.total + 1e-6
+
+    payload = {
+        "bench": "large",
+        "scale": "large",
+        "batched": True,
+        "workload": {
+            "num_sbs": NUM_SBS,
+            "num_items": NUM_ITEMS,
+            "num_classes": network.num_classes,
+            "users_per_class": USERS_PER_CLASS,
+            "users_total": USERS_PER_CLASS * network.num_classes,
+            "horizon": HORIZON,
+            "cache_size": CACHE_SIZE,
+            "bandwidth": BANDWIDTH,
+            "beta": BETA,
+            "seed": SEED,
+        },
+        "build_seconds": build_seconds,
+        "p2_kernel": {
+            "seconds": p2_seconds,
+            "objective": p2.objective,
+            "rows": NUM_SBS * HORIZON,
+            "columns": CLASSES_PER_SBS * NUM_ITEMS,
+        },
+        "p1_batched": {
+            "seconds": p1_seconds,
+            "objective": p1.objective,
+            "counters": p1_counters,
+            "loop_sample_sbss": LOOP_SAMPLE,
+            "loop_sample_seconds": loop_sample_seconds,
+            "loop_projected_seconds": loop_projected_seconds,
+            "batched_speedup_projected": loop_projected_seconds
+            / max(p1_seconds, 1e-9),
+        },
+        "mini_alg1": {
+            "seconds": alg1_seconds,
+            "iterations": 2,
+            "feasible_cost": result.cost.total,
+            "lower_bound": result.lower_bound,
+            "counters": alg1_counters,
+            "stopped_by_budget": result.stopped_by_budget,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_large.json"
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    manifest = run_manifest(seed=SEED, config=payload["workload"])
+    write_manifest(RESULTS_DIR / "BENCH_large.manifest.json", manifest)
+
+    lines = [
+        f"scale=large: N={NUM_SBS} SBSs, K={NUM_ITEMS} items, "
+        f"~{USERS_PER_CLASS * network.num_classes:,} users",
+        f"  build               {build_seconds:8.1f}s",
+        f"  P2 stacked kernel   {p2_seconds:8.1f}s   (one solve, "
+        f"{NUM_SBS * HORIZON} x {CLASSES_PER_SBS * NUM_ITEMS})",
+        f"  P1 batched (500)    {p1_seconds:8.1f}s   vs projected loop "
+        f"{loop_projected_seconds:.0f}s "
+        f"({loop_projected_seconds / max(p1_seconds, 1e-9):.0f}x)",
+        f"  Alg.1, 2 iterations {alg1_seconds:8.1f}s   "
+        f"cost={result.cost.total:.1f} lb={result.lower_bound:.1f}",
+    ]
+    save_report("large_scale", "\n".join(lines))
+    print(f"\n[saved to {path}]")

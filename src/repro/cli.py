@@ -195,7 +195,10 @@ def _cmd_bench_diff(args: argparse.Namespace) -> dict | None:
     Exits non-zero when the two records have identical configuration
     digests and any shared wall-time field regressed by more than
     ``--threshold`` (default 10%). With differing digests the runs are not
-    comparable, so timings are reported but never gated.
+    comparable, so timings are reported but never gated. ``--gate-costs``
+    additionally fails the diff on any cost drift, regardless of digests —
+    the gate for strategy A/Bs (batched off/on, executor changes) that
+    must reproduce bit-identical costs.
     """
     from repro.perf.benchdiff import diff_bench, load_bench, render_bench_diff
 
@@ -204,6 +207,12 @@ def _cmd_bench_diff(args: argparse.Namespace) -> dict | None:
     )
     print(render_bench_diff(comparison))
     if comparison.gate_failed:
+        raise SystemExit(1)
+    if getattr(args, "gate_costs", False) and comparison.cost_drift:
+        print(
+            f"FAIL: --gate-costs with {len(comparison.cost_drift)} drifted "
+            "cost entries"
+        )
         raise SystemExit(1)
     return None
 
@@ -336,6 +345,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=0.10,
         help="gated wall-time regression fraction (default 0.10); the gate "
         "only fires when the records' configuration digests match",
+    )
+    pb_diff.add_argument(
+        "--gate-costs",
+        action="store_true",
+        help="also fail on any cost drift between the records (works across "
+        "differing config digests — the strategy A/B gate: e.g. batched "
+        "off/on must reproduce identical costs)",
     )
 
     pz = sub.add_parser(

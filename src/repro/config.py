@@ -33,6 +33,16 @@ FLOW_REUSE_ENV = "REPRO_FLOW_REUSE"
 #: variables above it does not warn. ``0`` disables; anything else enables.
 INCREMENTAL_ENV = "REPRO_INCREMENTAL"
 
+#: Supported switch for the batched (vectorized) solve core — the stacked
+#: ``P1`` certificate kernel and the all-SBS ``P2`` water-fill. CI A/Bs it
+#: like :data:`INCREMENTAL_ENV`, so it does not warn. ``0`` disables.
+BATCHED_ENV = "REPRO_BATCHED"
+
+#: Supported opt-in switch for the quantized ``P1`` memo key (see
+#: :func:`repro.perf.solvecache.p1_quantized_digest`). Unset or ``0``
+#: keeps the byte-exact digest; any other value enables quantization.
+QUANTIZED_MEMO_ENV = "REPRO_QUANTIZED_MEMO"
+
 _WARNED: set[str] = set()
 
 
@@ -96,6 +106,17 @@ class RuntimeConfig:
         per-SBS ``P1`` memoization, warm-resumed min-cost flow, and
         cross-window warm-candidate seeding in the online controllers.
         ``REPRO_INCREMENTAL=0`` is the supported environment override.
+    batched:
+        Whether the batched solve core is active (default on): the stacked
+        ``P1`` certificate kernel with per-SBS fallback and the all-SBS
+        ``P2`` water-fill with certificate early exit. ``REPRO_BATCHED=0``
+        is the supported environment override.
+    quantized_memo:
+        Opt-in quantized ``P1`` memo key (default off): prices are rounded
+        to a tolerance band before digesting so drifting-``mu`` iterations
+        can share memo entries; objectives are recomputed for the actual
+        prices on every quantized hit. ``REPRO_QUANTIZED_MEMO=1`` is the
+        environment override.
     """
 
     executor: str | None = None
@@ -103,6 +124,8 @@ class RuntimeConfig:
     caching_backend: str | None = None
     flow_reuse: bool | None = None
     incremental: bool | None = None
+    batched: bool | None = None
+    quantized_memo: bool | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -143,3 +166,17 @@ def resolved_incremental(config: RuntimeConfig | None) -> bool:
     if config is not None and config.incremental is not None:
         return config.incremental
     return os.environ.get(INCREMENTAL_ENV, "") != "0"
+
+
+def resolved_batched(config: RuntimeConfig | None) -> bool:
+    """Batched solve core: config field, else env, else on."""
+    if config is not None and config.batched is not None:
+        return config.batched
+    return os.environ.get(BATCHED_ENV, "") != "0"
+
+
+def resolved_quantized_memo(config: RuntimeConfig | None) -> bool:
+    """Quantized ``P1`` memo key: config field, else env, else off."""
+    if config is not None and config.quantized_memo is not None:
+        return config.quantized_memo
+    return os.environ.get(QUANTIZED_MEMO_ENV, "") == "1"

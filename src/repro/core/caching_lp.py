@@ -35,7 +35,9 @@ from repro.config import (
     FLOW_REUSE_ENV,
     RuntimeConfig,
     resolved_backend_pin,
+    resolved_batched,
     resolved_flow_reuse,
+    resolved_quantized_memo,
 )
 from repro.exceptions import ConfigurationError, SolverError
 from repro.network.topology import Network
@@ -43,7 +45,7 @@ from repro.obs.recorder import inc
 from repro.optim.linprog import solve_lp
 from repro.optim.mincostflow import FlowState, MinCostFlow
 from repro.perf.executor import Executor, resolve_executor
-from repro.perf.solvecache import SolveCache, p1_digest
+from repro.perf.solvecache import SolveCache, p1_digest, p1_quantized_digest
 from repro.types import FloatArray, is_binary
 
 CachingBackend = Literal["auto", "flow", "lp", "lp-simplex"]
@@ -131,6 +133,19 @@ def solve_caching(
     (memo lookups, counter increments, warm-state handoff) happens here in
     the parent, so results and recorded telemetry stay bit-identical
     across executors.
+
+    Two further runtime knobs compose with the memo:
+
+    - the **batched relaxation pass** (``RuntimeConfig(batched=...)``,
+      default on) answers memo misses whose cardinality-relaxed optimum
+      is provably unique and feasible from one vectorized DP over all
+      misses (:func:`_solve_batched_p1`) — counted as
+      ``p1_batched_solves`` / ``p1_batched_fallbacks``;
+    - the **quantized memo key** (``RuntimeConfig(quantized_memo=...)``,
+      opt-in) bands prices to :data:`repro.perf.solvecache.P1_QUANTUM`
+      so near-repeat subproblems hit; cross-band hits re-evaluate the
+      objective against the actual prices and are counted as
+      ``p1_quant_memo_hits``.
     """
     backend = resolve_backend(backend, mu.shape[0] * network.num_items, config=config)
     if backend not in ("flow", "lp", "lp-simplex"):
@@ -147,27 +162,77 @@ def solve_caching(
     reuse = resolved_flow_reuse(config)
     want_state = cache is not None and backend == "flow"
 
+    quantized = resolved_quantized_memo(config)
     results: list[tuple[FloatArray, float] | None] = [None] * network.num_sbs
-    tasks = []
-    miss_meta: list[tuple[int, bytes, tuple[int, int, int, int]]] = []
     hits_before = cache.hits if cache is not None else 0
+    quant_before = cache.quant_hits if cache is not None else 0
+    miss_ns: list[int] = []
+    miss_keys: list[tuple[bytes, bytes | None]] = []
     for n in range(network.num_sbs):
+        key: bytes = b""
+        exact_key: bytes | None = None
+        if cache is not None:
+            c_n = prices[:, n, :]
+            beta_n = float(network.replacement_costs[n])
+            cap_n = int(network.cache_sizes[n])
+            x0_n = np.asarray(x_initial[n], dtype=np.float64)
+            exact_key = p1_digest(c_n, beta_n, cap_n, x0_n)
+            if quantized:
+                key = p1_quantized_digest(c_n, beta_n, cap_n, x0_n)
+                banded_hit = cache.lookup_banded(key, exact_key)
+                if banded_hit is not None:
+                    x_hit, obj_hit, banded = banded_hit
+                    if banded:
+                        # Cross-band reuse: the trajectory is valid (the
+                        # feasible set ignores prices) but the stored
+                        # objective belonged to the neighbour's prices.
+                        obj_hit = _objective_single(c_n, beta_n, x_hit, x0_n)
+                    results[n] = (x_hit, obj_hit)
+                    continue
+            else:
+                key = exact_key
+                hit = cache.lookup(key)
+                if hit is not None:
+                    results[n] = hit
+                    continue
+        miss_ns.append(n)
+        miss_keys.append((key, exact_key))
+    n_misses = len(miss_ns)
+
+    # Batched relaxation pass: one vectorized DP over every miss at once;
+    # subproblems whose certificate holds are solved here (and memoized),
+    # the rest fall back to the exact per-SBS backends below.
+    if resolved_batched(config) and miss_ns:
+        accepted = _solve_batched_p1(network, prices, x_initial, miss_ns)
+        if accepted:
+            kept_ns: list[int] = []
+            kept_keys: list[tuple[bytes, bytes | None]] = []
+            for n, keys in zip(miss_ns, miss_keys):
+                entry = accepted.get(n)
+                if entry is None:
+                    kept_ns.append(n)
+                    kept_keys.append(keys)
+                    continue
+                results[n] = entry
+                if cache is not None:
+                    cache.store(keys[0], entry[0], entry[1], exact_key=keys[1])
+            miss_ns, miss_keys = kept_ns, kept_keys
+            inc("p1_batched_solves", len(accepted))
+        if miss_ns:
+            inc("p1_batched_fallbacks", len(miss_ns))
+
+    tasks = []
+    miss_meta: list[tuple[int, tuple[bytes, bytes | None], tuple[int, int, int, int]]] = []
+    for n, key in zip(miss_ns, miss_keys):
         c_n = prices[:, n, :]
         beta_n = float(network.replacement_costs[n])
         cap_n = int(network.cache_sizes[n])
         x0_n = np.asarray(x_initial[n], dtype=np.float64)
         warm: FlowState | None = None
+        state_key = (n, T, K, cap_n)
         if cache is not None:
-            key = p1_digest(c_n, beta_n, cap_n, x0_n)
-            hit = cache.lookup(key)
-            if hit is not None:
-                results[n] = hit
-                continue
-            state_key = (n, T, K, cap_n)
             warm = cache.warm_state_for(state_key) if want_state else None
-            miss_meta.append((n, key, state_key))
-        else:
-            miss_meta.append((n, b"", (n, T, K, cap_n)))
+        miss_meta.append((n, key, state_key))
         tasks.append((c_n, beta_n, cap_n, x0_n, backend, reuse, warm, want_state))
 
     ex = resolve_executor(executor, config=config)
@@ -182,7 +247,7 @@ def solve_caching(
     ):
         results[n] = (xn, obj)
         if cache is not None:
-            cache.store(key, xn, obj)
+            cache.store(key[0], xn, obj, exact_key=key[1])
             if state is not None:
                 cache.flow_states[state_key] = state
             if resumed:
@@ -195,8 +260,13 @@ def solve_caching(
         hits = cache.hits - hits_before
         if hits:
             inc("p1_memo_hits", hits)
-        if miss_meta:
-            inc("p1_memo_misses", len(miss_meta))
+        if n_misses:
+            # Memo misses count every digest lookup that missed, including
+            # those the batched relaxation pass answered.
+            inc("p1_memo_misses", n_misses)
+        qhits = cache.quant_hits - quant_before
+        if qhits:
+            inc("p1_quant_memo_hits", qhits)
         if resumes:
             inc("flow_warm_resumes", resumes)
         if bailouts:
@@ -249,6 +319,103 @@ def caching_objective(
     return total
 
 
+# ------------------------------------------------------------- batched relax
+
+#: Element budget per DP-tensor chunk of the batched relaxation pass
+#: (bounds peak memory at roughly ten float64 tensors of this size).
+_BATCH_DP_CHUNK = 32_000_000
+
+
+def _solve_batched_p1(
+    network: Network,
+    prices: FloatArray,
+    x_initial: FloatArray,
+    ns: list[int],
+) -> dict[int, tuple[FloatArray, float]]:
+    """Vectorized cardinality-relaxed ``P1`` over a stack of SBSs.
+
+    Dropping the per-slot cardinality constraint makes ``P1`` separate per
+    *item* into an interval-selection problem — hold content ``k`` through
+    profitable time intervals, paying ``beta`` per insertion (free at
+    ``t = 0`` for initially cached items) — solved for every (SBS, item)
+    pair of the stack simultaneously by one two-state DP over the horizon.
+    A stacked subproblem is **accepted** only when
+
+    * every DP decision along the backtracked optimal path is strict by an
+      absolute margin of ``1e-9 * max(1, beta, max |c|)`` — the relaxed
+      optimum is unique, and comfortably so under any float evaluation
+      order — and
+    * the relaxed optimum satisfies the per-slot cardinality caps.
+
+    A unique relaxed optimum that is feasible for the constrained problem
+    is the constrained problem's unique optimum (every other feasible
+    trajectory is relaxed-feasible, hence strictly worse), so any exact
+    backend must return this exact trajectory: acceptance is bit-identical
+    to the flow/LP path, not merely close. Rejected subproblems — price
+    ties (e.g. the all-zero first dual iterate) or caps exceeded — fall
+    back to the per-SBS backends. Returns ``{n: (x, objective)}`` for the
+    accepted SBSs, objectives evaluated by :func:`_objective_single`
+    exactly as the per-SBS backends do.
+    """
+    T = prices.shape[0]
+    K = network.num_items
+    idx = np.asarray(ns, dtype=np.intp)
+    out: dict[int, tuple[FloatArray, float]] = {}
+    chunk = max(1, _BATCH_DP_CHUNK // max(1, T * K))
+    for start in range(0, idx.size, chunk):
+        sel = idx[start : start + chunk]
+        C = np.ascontiguousarray(prices[:, sel, :].transpose(1, 0, 2))  # (B,T,K)
+        beta = network.replacement_costs[sel].astype(np.float64)
+        caps = np.asarray(network.cache_sizes[sel])
+        X0 = np.asarray(x_initial[sel], dtype=np.float64)
+        B = sel.size
+        tol = (
+            1e-9
+            * np.maximum(1.0, np.maximum(beta, np.abs(C).max(axis=(1, 2))))
+        )[:, None]
+
+        # Forward pass: V1/V0 = best profit with the item cached/uncached
+        # in slot t.
+        take1 = np.empty((T, B, K), dtype=bool)  # cached at t <- cached at t-1
+        take0 = np.empty((T, B, K), dtype=bool)  # uncached at t <- uncached
+        m1 = np.empty((T, B, K))
+        m0 = np.empty((T, B, K))
+        bcol = beta[:, None]
+        V1 = C[:, 0, :] - np.where(X0 > 0.5, 0.0, bcol)
+        V0 = np.zeros((B, K))
+        for t in range(1, T):
+            stay = V1
+            enter = V0 - bcol
+            take1[t] = stay >= enter
+            m1[t] = np.abs(stay - enter)
+            nV1 = np.maximum(stay, enter) + C[:, t, :]
+            take0[t] = V0 >= V1
+            m0[t] = np.abs(V0 - V1)
+            V0 = np.maximum(V0, V1)
+            V1 = nV1
+
+        # Backtrack the optimal path, accumulating strictness failures
+        # only along decisions the path actually takes.
+        x = np.zeros((B, T, K))
+        state = V1 > V0  # cache in the last slot only on strict gain
+        fail = np.abs(V1 - V0) <= tol
+        for t in range(T - 1, 0, -1):
+            x[:, t, :] = state
+            fail |= np.where(state, m1[t], m0[t]) <= tol
+            state = np.where(state, take1[t], ~take0[t])
+        x[:, 0, :] = state
+
+        counts = x.sum(axis=2)
+        ok = ~fail.any(axis=1) & (counts <= caps[:, None]).all(axis=1)
+        for b in np.flatnonzero(ok):
+            xb = x[b]
+            out[int(sel[b])] = (
+                xb,
+                _objective_single(C[b], float(beta[b]), xb, X0[b]),
+            )
+    return out
+
+
 # ----------------------------------------------------------------- flow back
 
 @dataclass
@@ -257,13 +424,17 @@ class _FlowTemplate:
 
     The arc topology depends only on ``(T, K, cap)``; the dual prices (hold
     costs) and ``(beta, x0)`` (fetch costs) change between solves, so they
-    are rewritten in place via :meth:`MinCostFlow.set_arc_costs` and the
-    flow rewound with :meth:`MinCostFlow.reset`.
+    are rewritten in place via :meth:`MinCostFlow.set_all_arc_costs` and
+    the flow rewound with :meth:`MinCostFlow.reset`. ``base_costs`` is the
+    id-indexed all-user-arc cost vector with the structural (always-zero)
+    arcs filled in, so a solve only scatters the fetch/hold costs into a
+    copy of it.
     """
 
     graph: MinCostFlow
     fetch_arcs: "np.ndarray"  # (T, K) arc ids, cost = beta or 0
     hold_arcs: "np.ndarray"  # (T, K) arc ids, cost = -c[t, k]
+    base_costs: "np.ndarray"  # (num_user_arcs,) zeros
     src: int
     snk: int
 
@@ -305,7 +476,41 @@ def _build_flow_template(T: int, K: int, cap: int) -> _FlowTemplate:
             g.add_arc(node_out(k, t), hub(t + 1), 1, 0.0)
             if t + 1 < T:
                 g.add_arc(node_out(k, t), node_in(k, t + 1), 1, 0.0)
-    return _FlowTemplate(g, fetch_arcs, hold_arcs, src, snk)
+    base_costs = np.zeros(g._num_user_arcs, dtype=np.float64)
+    return _FlowTemplate(g, fetch_arcs, hold_arcs, base_costs, src, snk)
+
+
+def _initial_potentials_dag(c: FloatArray, fetch_costs: FloatArray) -> list[float]:
+    """Closed-form shortest distances on the empty caching flow.
+
+    The generic topological pass walks every arc of the template in Kahn
+    order; the caching DAG's layered structure lets the same distances be
+    computed by a vectorized forward DP over slots instead. Exactness
+    matters: each node's distance is a min over incoming path sums whose
+    additions happen in the same order as the relaxation pass, so the
+    returned potentials are the bitwise values that pass would produce
+    (up to the sign of zero) and Dijkstra's stale-potential guard treats
+    them as settled.
+    """
+    T, K = c.shape
+    d_hub = np.empty(T + 1)
+    d_hub[0] = 0.0
+    d_in = np.empty((T, K))
+    d_out = np.empty((T, K))
+    hold = -np.asarray(c, dtype=np.float64)
+    for t in range(T):
+        enter = d_hub[t] + fetch_costs[t]
+        d_in[t] = enter if t == 0 else np.minimum(enter, d_out[t - 1])
+        d_out[t] = d_in[t] + hold[t]
+        d_hub[t + 1] = min(d_hub[t], float(d_out[t].min()))
+    num_nodes = (T + 1) + 2 * T * K + 2
+    potentials = np.empty(num_nodes)
+    potentials[: T + 1] = d_hub
+    potentials[T + 1 : T + 1 + 2 * T * K : 2] = d_in.reshape(-1)
+    potentials[T + 2 : T + 2 + 2 * T * K : 2] = d_out.reshape(-1)
+    potentials[num_nodes - 2] = 0.0  # source
+    potentials[num_nodes - 1] = d_hub[T]  # sink
+    return potentials.tolist()
 
 
 # Templates are checked out under a lock so concurrent thread-executor
@@ -365,17 +570,29 @@ def _solve_single_sbs_flow(
     g = template.graph
     fetch_costs = np.full((T, K), float(beta))
     fetch_costs[0, np.asarray(x0) > 0.5] = 0.0
-    g.set_arc_costs(template.fetch_arcs, fetch_costs)
-    g.set_arc_costs(template.hold_arcs, -np.asarray(c, dtype=np.float64))
+    costs = template.base_costs.copy()
+    costs[template.fetch_arcs.reshape(-1)] = fetch_costs.reshape(-1)
+    costs[template.hold_arcs.reshape(-1)] = -np.asarray(c, dtype=np.float64).reshape(-1)
+    g.set_all_arc_costs(costs)
+    potentials = _initial_potentials_dag(c, fetch_costs)
 
     resumed = bailed = 0
     if warm_state is not None:
-        result = g.resume(template.src, template.snk, cap, warm_state, dag=True)
+        result = g.resume(
+            template.src,
+            template.snk,
+            cap,
+            warm_state,
+            dag=True,
+            initial_potentials=potentials,
+        )
         resumed = 1
         bailed = int(g.last_resume_bailed)
     else:
         g.reset()
-        result = g.solve(template.src, template.snk, cap, dag=True)
+        result = g.solve(
+            template.src, template.snk, cap, dag=True, initial_potentials=potentials
+        )
     state = g.export_state() if want_state else None
     x = result.arc_flow[template.hold_arcs]
     if reuse:
@@ -474,10 +691,15 @@ def _objective_single(
     *,
     fractional: bool = False,
 ) -> float:
-    prev = x0.astype(np.float64)
+    # Per-slot reductions are vectorized; the scalar accumulation stays a
+    # t-ordered loop so the result is bitwise what the original per-slot
+    # loop computed (row-wise axis reductions are bit-equal to reducing
+    # each row alone; only the accumulation order could differ).
+    prev = np.vstack([x0.astype(np.float64)[None, :], x[:-1]])
+    inserted = np.clip(x - prev, 0.0, None).sum(axis=1)
+    gained = (c * x).sum(axis=1)
     total = 0.0
     for t in range(x.shape[0]):
-        total += beta * float(np.clip(x[t] - prev, 0.0, None).sum())
-        total -= float(np.sum(c[t] * x[t]))
-        prev = x[t]
+        total += beta * float(inserted[t])
+        total -= float(gained[t])
     return total

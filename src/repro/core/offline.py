@@ -49,9 +49,10 @@ def _volume_top_c(problem: JointProblem, *, static: bool) -> FloatArray:
         else:
             score = volume
         top = np.argsort(-score, axis=1, kind="stable")[:, :cap]
-        for t in range(T):
-            chosen = top[t][score[t, top[t]] > 0]
-            x[t, n, chosen] = 1.0
+        # One scatter for all slots: keep only the positive-volume picks.
+        positive = np.take_along_axis(score, top, axis=1) > 0
+        tt, jj = np.nonzero(positive)
+        x[tt, n, top[tt, jj]] = 1.0
     return x
 
 

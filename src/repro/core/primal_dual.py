@@ -216,7 +216,7 @@ def solve_primal_dual(
                 f"candidate shape {cx.shape} != {problem.x_shape}"
             )
         with timers.stage("repair"):
-            cy = solve_y_given_x(problem, cx).y
+            cy = solve_y_given_x(problem, cx, config=config).y
         c_cost = problem.cost(cx, cy)
         repair_cache[cx.tobytes()] = (cy, c_cost)
         if best_cost is None or c_cost.total < best_cost.total:
@@ -239,7 +239,7 @@ def solve_primal_dual(
                 cache=solve_cache,
             )
         with timers.stage("p2"):
-            balancing = solve_p2(problem, mu, y0=y_warm, budget=budget)
+            balancing = solve_p2(problem, mu, y0=y_warm, budget=budget, config=config)
         y_warm = balancing.y
         dual_value = caching.objective + balancing.objective
         # At the -inf sentinel the relative-improvement margin is nan
@@ -276,7 +276,7 @@ def solve_primal_dual(
         cached = repair_cache.get(x_key)
         if cached is None:
             with timers.stage("repair"):
-                repaired_y = solve_y_given_x(problem, caching.x).y
+                repaired_y = solve_y_given_x(problem, caching.x, config=config).y
             candidate = problem.cost(caching.x, repaired_y)
             repair_cache[x_key] = (repaired_y, candidate)
         else:
@@ -364,7 +364,7 @@ def solve_primal_dual(
         cached = repair_cache.get(x_key)
         if cached is None:
             with timers.stage("repair"):
-                repaired_y = solve_y_given_x(problem, recovered.x).y
+                repaired_y = solve_y_given_x(problem, recovered.x, config=config).y
             candidate = problem.cost(recovered.x, repaired_y)
             repair_cache[x_key] = (repaired_y, candidate)
         else:

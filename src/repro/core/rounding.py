@@ -88,15 +88,26 @@ def round_caching(
 
     T, N, K = x_fractional.shape
     rounded = np.where(x_fractional >= rho, 1.0, 0.0)
-    # Capacity repair: keep the C_n largest fractional values.
-    for n in range(N):
-        cap = int(cache_sizes[n])
-        for t in range(T):
-            selected = np.flatnonzero(rounded[t, n] > 0.5)
-            if selected.size > cap:
-                keep = selected[np.argsort(-x_fractional[t, n, selected], kind="stable")][:cap]
-                rounded[t, n] = 0.0
-                rounded[t, n, keep] = 1.0
+    # Capacity repair: keep the C_n largest fractional values. Violating
+    # (t, n) rows are repaired in one stacked pass; ties rank by item
+    # index (stable sort on the negated values), exactly as a per-row
+    # ``argsort(-values)[:cap]`` would order them.
+    caps = np.asarray(cache_sizes, dtype=np.int64)
+    counts = (rounded > 0.5).sum(axis=2)
+    bad_t, bad_n = np.nonzero(counts > caps[None, :])
+    if bad_t.size:
+        frac = x_fractional[bad_t, bad_n]
+        selected = rounded[bad_t, bad_n] > 0.5
+        # Unselected items sort to the tail (+inf key); each violating row
+        # has more than cap selected items, so the tail never ranks.
+        key = np.where(selected, -frac, np.inf)
+        order = np.argsort(key, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        rows = np.arange(bad_t.size)[:, None]
+        ranks[rows, order] = np.arange(K)[None, :]
+        rounded[bad_t, bad_n] = (
+            selected & (ranks < caps[bad_n][:, None])
+        ).astype(np.float64)
     return rounded
 
 

@@ -79,10 +79,14 @@ class MinCostFlow:
         self._cap: list[float] = []
         self._cost: list[float] = []
         self._adj: list[list[int]] = [[] for _ in range(num_nodes)]
+        # (arc id, head) pairs per node, built lazily; saves one list
+        # lookup per scanned arc in the Dijkstra hot loop.
+        self._adj_pairs: list[list[tuple[int, int]]] | None = None
         self._num_user_arcs = 0
         self._cap0: list[float] | None = None
         self._potentials: list[float] | None = None
         self._last_amount = 0
+        self._topo_order: list[int] | None = None
         #: Whether the most recent :meth:`resume` fell back to a cold solve.
         self.last_resume_bailed = False
 
@@ -93,6 +97,8 @@ class MinCostFlow:
         if capacity < 0:
             raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
         self._cap0 = None  # topology changed; the pre-solve snapshot is stale
+        self._topo_order = None
+        self._adj_pairs = None
         arc_id = self._num_user_arcs
         self._adj[u].append(len(self._head))
         self._head.append(v)
@@ -137,6 +143,24 @@ class MinCostFlow:
             cost_list[e] = c
             cost_list[e + 1] = -c
 
+    def set_all_arc_costs(self, costs: "np.ndarray") -> None:
+        """Replace every user arc's cost at once from an id-indexed array.
+
+        Equivalent to ``set_arc_costs(arange(num_user_arcs), costs)`` but
+        rewrites the interleaved forward/residual cost storage in one
+        vectorized pass — the per-solve hot path for pooled flow templates,
+        whose topology is fixed and whose costs are rewritten every solve.
+        """
+        values = np.asarray(costs, dtype=np.float64).reshape(-1)
+        if values.size != self._num_user_arcs:
+            raise ConfigurationError(
+                f"got {values.size} costs for {self._num_user_arcs} user arcs"
+            )
+        interleaved = np.empty(2 * values.size, dtype=np.float64)
+        interleaved[0::2] = values
+        interleaved[1::2] = -values
+        self._cost[:] = interleaved.tolist()
+
     def reset(self) -> None:
         """Rewind all flow, restoring the capacities seen by the first solve.
 
@@ -175,25 +199,35 @@ class MinCostFlow:
         return dist
 
     def _topological_potentials(self, source: int) -> list[float]:
-        """Single-pass shortest distances for DAGs (Kahn order)."""
-        indeg = [0] * self.num_nodes
-        for u in range(self.num_nodes):
-            for e in self._adj[u]:
-                if e % 2 == 0:  # forward arcs only define the DAG
-                    indeg[self._head[e]] += 1
-        order: list[int] = [u for u in range(self.num_nodes) if indeg[u] == 0]
-        head = 0
-        while head < len(order):
-            u = order[head]
-            head += 1
-            for e in self._adj[u]:
-                if e % 2 == 0:
-                    v = self._head[e]
-                    indeg[v] -= 1
-                    if indeg[v] == 0:
-                        order.append(v)
-        if len(order) != self.num_nodes:
-            raise ConfigurationError("graph is not a DAG; use Bellman-Ford potentials")
+        """Single-pass shortest distances for DAGs (Kahn order).
+
+        The Kahn order depends only on the arc topology, so it is computed
+        once and cached until an arc is added; repeat solves over a pooled
+        template pay only for the relaxation pass.
+        """
+        order = self._topo_order
+        if order is None:
+            indeg = [0] * self.num_nodes
+            for u in range(self.num_nodes):
+                for e in self._adj[u]:
+                    if e % 2 == 0:  # forward arcs only define the DAG
+                        indeg[self._head[e]] += 1
+            order = [u for u in range(self.num_nodes) if indeg[u] == 0]
+            head = 0
+            while head < len(order):
+                u = order[head]
+                head += 1
+                for e in self._adj[u]:
+                    if e % 2 == 0:
+                        v = self._head[e]
+                        indeg[v] -= 1
+                        if indeg[v] == 0:
+                            order.append(v)
+            if len(order) != self.num_nodes:
+                raise ConfigurationError(
+                    "graph is not a DAG; use Bellman-Ford potentials"
+                )
+            self._topo_order = order
         dist = [_INF] * self.num_nodes
         dist[source] = 0.0
         for u in order:
@@ -217,6 +251,7 @@ class MinCostFlow:
         *,
         dag: bool = False,
         stop_when_unprofitable: bool = False,
+        initial_potentials: list[float] | None = None,
     ) -> FlowResult:
         """Route up to ``amount`` units from ``source`` to ``sink`` at min cost.
 
@@ -229,6 +264,12 @@ class MinCostFlow:
             Stop early once the cheapest augmenting path has non-negative
             cost. With free parallel "idle" capacity in the network this
             computes the min-cost flow of *any* value up to ``amount``.
+        initial_potentials:
+            Caller-computed shortest distances from ``source`` on the empty
+            flow (one entry per node). Callers whose graph has closed-form
+            structure (the caching flow) supply these to skip the generic
+            potential pass; the values must equal what that pass would
+            compute, or Dijkstra's stale-potential guard fires.
         """
         if source == sink:
             raise ConfigurationError("source and sink must differ")
@@ -237,11 +278,19 @@ class MinCostFlow:
         if self._cap0 is None:
             self._cap0 = list(self._cap)
 
-        potentials = (
-            self._topological_potentials(source)
-            if dag
-            else self._bellman_ford_potentials(source)
-        )
+        if initial_potentials is not None:
+            if len(initial_potentials) != self.num_nodes:
+                raise ConfigurationError(
+                    f"got {len(initial_potentials)} potentials for "
+                    f"{self.num_nodes} nodes"
+                )
+            potentials = list(initial_potentials)
+        else:
+            potentials = (
+                self._topological_potentials(source)
+                if dag
+                else self._bellman_ford_potentials(source)
+            )
         flow = 0
         total_cost = 0.0
         while flow < amount:
@@ -251,9 +300,9 @@ class MinCostFlow:
             path_cost = dist[sink] + potentials[sink] - potentials[source]
             if stop_when_unprofitable and path_cost >= -1e-12:
                 break
-            for v in range(self.num_nodes):
-                if dist[v] < _INF:
-                    potentials[v] += dist[v]
+            potentials = [
+                p + d if d < _INF else p for p, d in zip(potentials, dist)
+            ]
             # Bottleneck along the path.
             bottleneck = float(amount - flow)
             v = sink
@@ -273,16 +322,21 @@ class MinCostFlow:
             flow += int(bottleneck)
             total_cost += bottleneck * path_cost
 
-        arc_flow = np.array(
-            [self._cap[2 * i + 1] for i in range(self._num_user_arcs)],
-            dtype=np.float64,
-        )
+        arc_flow = np.array(self._cap, dtype=np.float64)[
+            1 : 2 * self._num_user_arcs : 2
+        ]
         self._potentials = potentials
         self._last_amount = flow
         return FlowResult(amount=flow, cost=total_cost, arc_flow=arc_flow)
 
     def cold_solve(
-        self, source: int, sink: int, amount: int, *, dag: bool = False
+        self,
+        source: int,
+        sink: int,
+        amount: int,
+        *,
+        dag: bool = False,
+        initial_potentials: list[float] | None = None,
     ) -> FlowResult:
         """Guaranteed from-scratch solve: rewind all flow, then :meth:`solve`.
 
@@ -290,7 +344,9 @@ class MinCostFlow:
         tests — it never consults retained potentials or flow.
         """
         self.reset()
-        return self.solve(source, sink, amount, dag=dag)
+        return self.solve(
+            source, sink, amount, dag=dag, initial_potentials=initial_potentials
+        )
 
     # ------------------------------------------------------------ warm resume
     #
@@ -337,6 +393,7 @@ class MinCostFlow:
         state: FlowState,
         *,
         dag: bool = False,
+        initial_potentials: list[float] | None = None,
     ) -> FlowResult:
         """Re-optimize after a cost change, starting from ``state``.
 
@@ -345,8 +402,8 @@ class MinCostFlow:
         cheaper: when the retained flow is still optimal the only work is
         scanning for violated residual arcs and settling the few affected
         potentials. Falls back to a cold solve deterministically when the
-        settle worklist exceeds its operation budget. ``dag`` is only used
-        by that fallback.
+        settle worklist exceeds its operation budget. ``dag`` and
+        ``initial_potentials`` are only used by that fallback.
         """
         if len(state.caps) != len(self._cap):
             raise ConfigurationError(
@@ -367,7 +424,9 @@ class MinCostFlow:
         self.last_resume_bailed = False
         if not self._settle_potentials(potentials, changed.tolist()):
             self.last_resume_bailed = True
-            return self.cold_solve(source, sink, amount, dag=dag)
+            return self.cold_solve(
+                source, sink, amount, dag=dag, initial_potentials=initial_potentials
+            )
 
         # Potentials are valid for the retained flow; route any shortfall
         # (none in the steady state — the retained flow already carries
@@ -377,9 +436,9 @@ class MinCostFlow:
             dist, parent_arc = self._dijkstra(source, potentials)
             if dist[sink] == _INF:
                 break
-            for v in range(self.num_nodes):
-                if dist[v] < _INF:
-                    potentials[v] += dist[v]
+            potentials = [
+                p + d if d < _INF else p for p, d in zip(potentials, dist)
+            ]
             bottleneck = float(amount - flow)
             v = sink
             while v != source:
@@ -462,31 +521,48 @@ class MinCostFlow:
     def _dijkstra(
         self, source: int, potentials: list[float]
     ) -> tuple[list[float], list[int]]:
+        # The tightest loop in the solver: every name it touches is bound
+        # to a local, arcs are scanned as precomputed (id, head) pairs, and
+        # the `max(reduced, 0.0)` clamp is branched inline. None of this
+        # changes any comparison or float operation, so the pop order —
+        # and with it the chosen paths — is unchanged.
+        pairs = self._adj_pairs
+        if pairs is None:
+            head = self._head
+            pairs = [[(e, head[e]) for e in arcs] for arcs in self._adj]
+            self._adj_pairs = pairs
         dist = [_INF] * self.num_nodes
         parent_arc = [-1] * self.num_nodes
         dist[source] = 0.0
         heap: list[tuple[float, int]] = [(0.0, source)]
+        heappop, heappush = heapq.heappop, heapq.heappush
+        cap, cost = self._cap, self._cost
+        inf = _INF
         while heap:
-            d, u = heapq.heappop(heap)
+            d, u = heappop(heap)
             if d > dist[u] + 1e-15:
                 continue
             pu = potentials[u]
-            if pu == _INF:
+            if pu == inf:
                 continue
-            for e in self._adj[u]:
-                if self._cap[e] <= 1e-12:
+            for e, v in pairs[u]:
+                if cap[e] <= 1e-12:
                     continue
-                v = self._head[e]
-                if potentials[v] == _INF:
+                pv = potentials[v]
+                if pv == inf:
                     continue
-                reduced = self._cost[e] + pu - potentials[v]
-                if reduced < -1e-7:
-                    raise SolverError(
-                        f"negative reduced cost {reduced:.3e}; potentials are stale"
-                    )
-                nd = d + max(reduced, 0.0)
+                reduced = cost[e] + pu - pv
+                if reduced < 0.0:
+                    if reduced < -1e-7:
+                        raise SolverError(
+                            f"negative reduced cost {reduced:.3e}; "
+                            "potentials are stale"
+                        )
+                    nd = d
+                else:
+                    nd = d + reduced
                 if nd < dist[v] - 1e-15:
                     dist[v] = nd
                     parent_arc[v] = e
-                    heapq.heappush(heap, (nd, v))
+                    heappush(heap, (nd, v))
         return dist, parent_arc

@@ -1,0 +1,461 @@
+"""Batched dual-water-level fill for the ``P2`` fast path.
+
+:func:`waterfill_batch` solves the per-(SBS, slot) residual fixed point of
+subproblem ``P2`` for a whole stack of rows at once: every row is one
+(SBS, slot) pair, so a single call covers all ``N`` SBSs of a window
+instead of one solve per SBS. The scalar loop path routes through the same
+kernel one SBS at a time, and every reduction inside the kernel is either
+elementwise or a sequential prefix scan — zero-padded tail coordinates are
+exactly inert — so the batched and loop layouts return bit-identical
+solutions regardless of how rows are stacked or padded.
+
+Closed-form solve (the common case)
+-----------------------------------
+Each row minimizes ``s (W - sum omega alloc)^2 + sum slope alloc`` over
+``0 <= alloc <= caps`` and ``sum alloc <= bw``. Item ``j`` enters the
+optimal allocation when the residual ``r = W - u`` exceeds its threshold
+``t_j = slope_j / (2 s omega_j)`` (the benefit ``2 s r omega_j`` beats the
+price ``slope_j``). When the bandwidth constraint is slack, the KKT system
+collapses to a one-dimensional fixed point over a *sorted threshold scan*:
+
+* sort items by ``t_j`` once; prefix-sum their weighted capacities ``U_k``;
+* the fixed point lies in segment ``k*`` — the largest ``k`` with
+  ``t_(k) < W - U_k`` (both sequences are monotone, so ``k*`` is a count);
+* if ``W - U_k* <= t_(k*+1)`` the solution is interior: the first ``k*``
+  items at full capacity, residual ``r* = W - U_k*``;
+* otherwise the line ``W - r`` crosses inside the jump at ``r* = t_(k*+1)``
+  and the items tied at that threshold (``kappa = 0``, indifferent) split
+  the remaining weighted volume ``W - r* - U_k*`` greedily in stable order.
+
+One argsort and a handful of prefix scans replace the legacy 26-iteration
+bisection — and the result is the *exact* optimum rather than a bracketed
+approximation. Rows whose closed-form allocation exceeds the bandwidth
+(the cap must bind, so the threshold structure no longer applies) fall
+back to the legacy bisection below; rows whose SBS group carries no
+positive slope keep the single-pass greedy fill, which is bit-identical
+to the pre-existing oracle path.
+
+Legacy bisection (bandwidth-bound rows)
+---------------------------------------
+The greedy fill at residual ``r`` ranks items by ``kappa_j(r) = 2 s r
+omega_j - slope_j`` and pours bandwidth down the ranking; bisection finds
+``W - u(r) = r``. The fill's output depends on ``r`` only through the
+*state* (eligible set, sort order), so the kernel stores the last state
+evaluated on each side of the bracket; at each midpoint one gather plus
+two vectorized checks — the ``(key, index)`` pairs strictly increasing
+along the stored order (exactly the output a stable argsort would
+produce; ``+inf`` runs are exempt because their caps are zeroed) and the
+``+inf`` pattern matching the stored eligible-prefix length — prove the
+stored state is valid at the midpoint, making ``u(mid)`` free. Since each
+``kappa_j(r)`` is linear in ``r``, a state valid at both ends of a
+bracket is valid throughout it, so a *cross-side* match certifies the
+fill is constant on the bracket and the row settles immediately. Both
+mechanisms are bitwise-invisible; ``early_exit=False`` runs every
+iteration with fresh fills for A/B tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+
+#: Fixed bisection depth of the legacy bandwidth-bound path.
+BISECTION_ITERS = 26
+
+_INF = np.inf
+
+
+def waterfill_batch(
+    lam: FloatArray,
+    caps: FloatArray,
+    omega: FloatArray,
+    mu: FloatArray,
+    W: FloatArray,
+    bandwidths: FloatArray,
+    scale: float,
+    *,
+    group_ids: IntArray | None = None,
+    early_exit: bool = True,
+) -> tuple[FloatArray, FloatArray]:
+    """Solve the water-fill for a stack of independent rows.
+
+    Parameters
+    ----------
+    lam, caps, omega, mu:
+        Row-stacked ``(R, J)`` arrays: demand, routing caps, BS weights
+        and multipliers per flattened (class, item) coordinate. Rows from
+        SBSs with fewer coordinates are zero-padded (zero caps make the
+        padding inert — bitwise, not just approximately).
+    W:
+        Offloadable weighted volume per row, shape ``(R,)``.
+    bandwidths:
+        SBS bandwidth per row, shape ``(R,)``.
+    scale:
+        Quadratic BS-cost scale.
+    group_ids:
+        Optional ``(R,)`` int labels tying rows to their SBS. The
+        "no bisection needed" shortcut (all slopes zero) is decided per
+        SBS over the whole window, so the batched kernel must apply it
+        per group, not per row. ``None`` treats the whole batch as one
+        group.
+    early_exit:
+        Enable the state-reuse fast path of the legacy bisection
+        (bitwise-invisible; see module docstring).
+
+    Returns
+    -------
+    (alloc, u):
+        Routed amounts ``(R, J)`` and offloaded weighted volume ``(R,)``.
+    """
+    R, J = lam.shape
+    alloc_out = np.zeros_like(caps)
+    u_out = np.zeros(R)
+    if R == 0 or J == 0:
+        return alloc_out, u_out
+
+    # Columns with zero cap in every row are exactly inert: their
+    # threshold is +inf, their weighted capacity contributes +0.0 to every
+    # prefix scan, and their allocation is identically zero. Dropping them
+    # up front is bitwise-invisible (stable sorts preserve the relative
+    # order of the surviving columns) and shrinks every (rows, J) op —
+    # typical caching instances route only the cached fraction of items.
+    keep_cols = np.flatnonzero((caps > 0).any(axis=0))
+    if keep_cols.size < J:
+        alloc_c, u_out = waterfill_batch(
+            np.ascontiguousarray(lam[:, keep_cols]),
+            np.ascontiguousarray(caps[:, keep_cols]),
+            np.ascontiguousarray(omega[:, keep_cols]),
+            np.ascontiguousarray(mu[:, keep_cols]),
+            W,
+            bandwidths,
+            scale,
+            group_ids=group_ids,
+            early_exit=early_exit,
+        )
+        alloc_out[:, keep_cols] = alloc_c
+        return alloc_out, u_out
+
+    two_s = 2.0 * scale
+    cols = np.arange(J)
+
+    # The full (R, J) slope tensor is only needed by the legacy bisection
+    # (engaged on a few percent of calls); the closed form divides once by
+    # the fused denominator and the single-pass fill needs no slope at all
+    # (every cap-positive item has mu = 0 there). Computing it lazily keeps
+    # the hot path at one division.
+    slope_arr: FloatArray | None = None
+
+    def get_slope() -> FloatArray:
+        nonlocal slope_arr
+        if slope_arr is None:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                slope_arr = np.where(lam > 0, mu / lam, _INF)
+        return slope_arr
+
+    def full_fill(
+        rows: IntArray, r: FloatArray, *, with_alloc: bool, zero_slope: bool = False
+    ) -> tuple[FloatArray | None, FloatArray]:
+        om = omega[rows]
+        cp = caps[rows]
+        kappa = two_s * r[:, None] * om
+        if not zero_slope:
+            kappa -= get_slope()[rows]
+        eligible = (kappa > 0) & (cp > 0)
+        key = np.where(eligible, -kappa, _INF)
+        order = np.argsort(key, axis=1, kind="stable")
+        ridx = np.arange(rows.size)[:, None]
+        caps_sorted = np.where(eligible, cp, 0.0)[ridx, order]
+        cum = np.cumsum(caps_sorted, axis=1)
+        alloc_sorted = np.clip(
+            bandwidths[rows, None] - (cum - caps_sorted), 0.0, caps_sorted
+        )
+        # Sequential scan instead of a blocked dot keeps the value
+        # invariant to trailing zero padding.
+        u = np.cumsum(alloc_sorted * om[ridx, order], axis=1)[:, -1]
+        alloc = None
+        if with_alloc:
+            alloc = np.zeros_like(cp)
+            alloc[ridx, order] = alloc_sorted
+        return alloc, u
+
+    # Per-SBS shortcut: when no item of the group carries a positive slope
+    # with positive cap, the fill order and eligible set do not depend on
+    # r and one bandwidth-capped pass at max(W, 1) is exact. This is the
+    # fixed-cache oracle's hot path. (caps > 0 implies lam > 0, where
+    # slope > 0 iff mu > 0 — no division needed for the test.)
+    row_any = ((mu > 0) & (caps > 0)).any(axis=1)
+    if group_ids is None:
+        bisect_rows = np.full(R, bool(row_any.any()))
+    else:
+        grp = np.zeros(int(group_ids.max()) + 1, dtype=bool)
+        np.logical_or.at(grp, group_ids, row_any)
+        bisect_rows = grp[group_ids]
+
+    single = np.flatnonzero(~bisect_rows)
+    if single.size:
+        # Every cap-positive item of a single-pass group has slope exactly
+        # zero, so the zero-slope fill is bit-identical and skips the
+        # (R, J) division.
+        alloc, u = full_fill(
+            single, np.maximum(W[single], 1.0), with_alloc=True, zero_slope=True
+        )
+        assert alloc is not None
+        alloc_out[single] = alloc
+        u_out[single] = u
+
+    act = np.flatnonzero(bisect_rows)
+    if act.size == 0:
+        return alloc_out, u_out
+
+    # ---------------------------------------------------- closed form
+    om_a = omega[act]
+    cp_a = caps[act]
+    bw_a = bandwidths[act]
+    W_a = W[act].astype(np.float64, copy=False)
+    A = act.size
+    ridx = np.arange(A)[:, None]
+    valid = (cp_a > 0) & (om_a > 0)
+    # Fused threshold t_j = mu_j / (2 s lam_j omega_j): one division, and
+    # valid entries have lam > 0 so the denominator is positive.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_thr = np.where(valid, mu[act] / (two_s * (lam[act] * om_a)), _INF)
+    ordt = np.argsort(t_thr, axis=1, kind="stable")
+    tv = t_thr[ridx, ordt]
+    cps = cp_a[ridx, ordt]
+    cwv = np.where(valid, om_a * cp_a, 0.0)[ridx, ordt]
+    cum = np.cumsum(cwv, axis=1)
+    # k* = number of items strictly below the fixed-point residual. Both
+    # tv (sorted) and W - cum (cumsum of non-negatives) are monotone, so
+    # the comparison row is a prefix of Trues and the count locates it.
+    kstar = (tv < (W_a[:, None] - cum)).sum(axis=1)
+    rows1 = np.arange(A)
+    U_star = np.where(kstar > 0, cum[rows1, np.maximum(kstar - 1, 0)], 0.0)
+    tv_next = np.where(kstar < J, tv[rows1, np.minimum(kstar, J - 1)], _INF)
+    r_int = W_a - U_star
+    interior = r_int <= tv_next
+    u_a = np.where(interior, U_star, W_a - tv_next)
+
+    alloc_sorted = np.where(cols < kstar[:, None], cps, 0.0)
+    jrows = np.flatnonzero(~interior)
+    if jrows.size:
+        # The crossing sits inside the jump at r* = tv_next: items tied at
+        # that threshold are indifferent (kappa = 0) and greedily absorb
+        # the remaining weighted volume in stable order. The budget never
+        # exceeds the tied run's weighted capacity (otherwise k* would be
+        # larger), so items beyond the run stay at zero.
+        bu = ((W_a[jrows] - tv_next[jrows]) - U_star[jrows])[:, None]
+        mass = cum[jrows] - U_star[jrows, None]
+        # Ties can straddle the k* boundary (tv[k*-1] == tv[k*] with the
+        # prefix condition flipping on cum alone). Straddling items are
+        # first among the indifferent tied items in stable order, so their
+        # full-caps prefix allocation is already greedy-correct and their
+        # mass is inside U_star — the residual budget is distributed over
+        # run positions >= k* only.
+        run = (tv[jrows] == tv_next[jrows, None]) & (cols >= kstar[jrows, None])
+        cwj = cwv[jrows]
+        run_full = run & (mass <= bu)
+        boundary = run & (mass > bu) & ((mass - cwj) < bu)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            part = np.clip(
+                (bu - (mass - cwj)) / om_a[jrows[:, None], ordt[jrows]],
+                0.0,
+                cps[jrows],
+            )
+        alloc_sorted[jrows] += np.where(
+            run_full, cps[jrows], np.where(boundary, part, 0.0)
+        )
+
+    tot = alloc_sorted.sum(axis=1)
+    closed = tot <= bw_a
+    crows = np.flatnonzero(closed)
+    if crows.size:
+        allc = np.zeros((crows.size, J))
+        allc[np.arange(crows.size)[:, None], ordt[crows]] = alloc_sorted[crows]
+        alloc_out[act[crows]] = allc
+        u_out[act[crows]] = u_a[crows]
+
+    # ------------------------------------------- legacy bisection (bw-bound)
+    act = act[~closed]
+    if act.size == 0:
+        return alloc_out, u_out
+    keep = ~closed
+    om_a, cp_a = om_a[keep], cp_a[keep]
+    sl_a = get_slope()[act]
+    bw_a, W_a = bw_a[keep], W_a[keep]
+    r_lo = np.zeros(act.size)
+    r_hi = np.maximum(W_a, 1e-12)
+    A = act.size
+    # Stored fill state per bracket side: sort order, eligible-prefix
+    # length, u, and a "present" flag. Invariant: a flagged side's state
+    # is fill-valid at that side's current residual.
+    ol = np.zeros((A, J), dtype=np.intp)
+    oh = np.zeros((A, J), dtype=np.intp)
+    ul = np.zeros(A)
+    uh = np.zeros(A)
+    ml = np.zeros(A, dtype=np.intp)
+    mh = np.zeros(A, dtype=np.intp)
+    hl = np.zeros(A, dtype=bool)
+    hh = np.zeros(A, dtype=bool)
+
+    def state_fill(
+        order: IntArray, m: IntArray, cp: FloatArray, bw: FloatArray
+    ) -> FloatArray:
+        """Replay a stored fill state; returns the scattered allocation."""
+        n = order.shape[0]
+        sidx = np.arange(n)[:, None]
+        caps_sorted = np.where(cols < m[:, None], cp[sidx, order], 0.0)
+        cum = np.cumsum(caps_sorted, axis=1)
+        alloc_sorted = np.clip(bw[:, None] - (cum - caps_sorted), 0.0, caps_sorted)
+        alloc = np.zeros((n, J))
+        alloc[sidx, order] = alloc_sorted
+        return alloc
+
+    def state_match(
+        key: FloatArray, rows: IntArray, order: IntArray, m: IntArray
+    ) -> IntArray:
+        """Rows (subset indices into ``key``) whose key row provably sorts
+        to the stored state.
+
+        A stable argsort orders by ``(key, original index)``; the stored
+        order reproduces it exactly when that pair sequence is strictly
+        increasing along the stored order — keys non-decreasing and, in
+        every run of equal finite keys, indices ascending. Runs of ``+inf``
+        are exempt (zero caps make their arrangement fill-invisible), but
+        the ``+inf`` pattern must match the stored eligible-prefix length.
+        """
+        o = order[rows]
+        seq = key[rows[:, None], o]
+        a, b = seq[:, :-1], seq[:, 1:]
+        ok = np.all(
+            (b > a) | ((a == b) & ((o[:, 1:] > o[:, :-1]) | (a == _INF))),
+            axis=1,
+        )
+        ok &= np.all((seq != _INF) == (cols < m[rows, None]), axis=1)
+        return rows[ok]
+
+    for _ in range(BISECTION_ITERS):
+        if act.size == 0:
+            break
+        A = act.size
+        mid = 0.5 * (r_lo + r_hi)
+        kappa = two_s * mid[:, None] * om_a - sl_a
+        eligible = (kappa > 0) & (cp_a > 0)
+        key = np.where(eligible, -kappa, _INF)
+        u_m = np.empty(A)
+        used = np.full(A, 2, dtype=np.int8)  # 0 = lo state, 1 = hi, 2 = fresh
+        if early_exit:
+            lo_rows = np.flatnonzero(hl)
+            if lo_rows.size:
+                matched = state_match(key, lo_rows, ol, ml)
+                u_m[matched] = ul[matched]
+                used[matched] = 0
+            rem = np.flatnonzero((used == 2) & hh)
+            if rem.size:
+                matched = state_match(key, rem, oh, mh)
+                u_m[matched] = uh[matched]
+                used[matched] = 1
+        fresh = np.flatnonzero(used == 2)
+        if fresh.size:
+            keyf = key[fresh]
+            eligf = eligible[fresh]
+            order_f = np.argsort(keyf, axis=1, kind="stable")
+            fidx = np.arange(fresh.size)[:, None]
+            caps_sorted = np.where(eligf, cp_a[fresh], 0.0)[fidx, order_f]
+            cum_f = np.cumsum(caps_sorted, axis=1)
+            alloc_sorted_f = np.clip(
+                bw_a[fresh, None] - (cum_f - caps_sorted), 0.0, caps_sorted
+            )
+            u_m[fresh] = np.cumsum(
+                alloc_sorted_f * om_a[fresh][fidx, order_f], axis=1
+            )[:, -1]
+            m_f = eligf.sum(axis=1)
+
+        implied = W_a - u_m
+        too_small = implied > mid  # G(r) > 0 -> root is to the right
+        r_lo = np.where(too_small, mid, r_lo)
+        r_hi = np.where(too_small, r_hi, mid)
+        if not early_exit:
+            continue
+
+        # The updated side inherits the state used at the midpoint.
+        cross_hi = (used == 1) & too_small
+        if cross_hi.any():
+            idx = np.flatnonzero(cross_hi)
+            ol[idx] = oh[idx]
+            ul[idx] = uh[idx]
+            ml[idx] = mh[idx]
+            hl[idx] = True
+        cross_lo = (used == 0) & ~too_small
+        if cross_lo.any():
+            idx = np.flatnonzero(cross_lo)
+            oh[idx] = ol[idx]
+            uh[idx] = ul[idx]
+            mh[idx] = ml[idx]
+            hh[idx] = True
+        if fresh.size:
+            sel = too_small[fresh]
+            tgt = fresh[sel]
+            if tgt.size:
+                ol[tgt] = order_f[sel]
+                ul[tgt] = u_m[tgt]
+                ml[tgt] = m_f[sel]
+                hl[tgt] = True
+            tgt = fresh[~sel]
+            if tgt.size:
+                oh[tgt] = order_f[~sel]
+                uh[tgt] = u_m[tgt]
+                mh[tgt] = m_f[~sel]
+                hh[tgt] = True
+
+        # Cross-side match -> the state is valid at both ends of the new
+        # bracket, hence constant on it: the final gap is exactly zero and
+        # the closing interpolation returns this state's fill. Settle now.
+        settle = cross_hi | cross_lo
+        if settle.any():
+            s = np.flatnonzero(settle)
+            alloc_out[act[s]] = state_fill(ol[s], ml[s], cp_a[s], bw_a[s])
+            u_out[act[s]] = ul[s]
+            kp = ~settle
+            act = act[kp]
+            om_a, cp_a, sl_a = om_a[kp], cp_a[kp], sl_a[kp]
+            bw_a, W_a = bw_a[kp], W_a[kp]
+            r_lo, r_hi = r_lo[kp], r_hi[kp]
+            ol, oh, ul, uh = ol[kp], oh[kp], ul[kp], uh[kp]
+            ml, mh, hl, hh = ml[kp], mh[kp], hl[kp], hh[kp]
+
+    if act.size:
+        A = act.size
+
+        def endpoint(
+            have: FloatArray,
+            order: IntArray,
+            u_s: FloatArray,
+            m_s: IntArray,
+            r_end: FloatArray,
+        ) -> tuple[FloatArray, FloatArray]:
+            alloc = np.empty((A, J))
+            u = np.empty(A)
+            hv = np.flatnonzero(have)
+            if hv.size:
+                alloc[hv] = state_fill(order[hv], m_s[hv], cp_a[hv], bw_a[hv])
+                u[hv] = u_s[hv]
+            nh = np.flatnonzero(~have)
+            if nh.size:
+                al, uu = full_fill(act[nh], r_end[nh], with_alloc=True)
+                assert al is not None
+                alloc[nh] = al
+                u[nh] = uu
+            return alloc, u
+
+        alloc_lo, u_lo = endpoint(hl, ol, ul, ml, r_lo)
+        alloc_hi, u_hi = endpoint(hh, oh, uh, mh, r_hi)
+        u_target = W_a - 0.5 * (r_lo + r_hi)
+        gap = u_hi - u_lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = np.where(
+                gap > 1e-15, np.clip((u_target - u_lo) / gap, 0.0, 1.0), 0.0
+            )
+        alloc_out[act] = alloc_lo + t[:, None] * (alloc_hi - alloc_lo)
+        u_out[act] = u_lo + t * gap
+    return alloc_out, u_out

@@ -52,6 +52,14 @@ MEMO_LIMIT = 4096
 BACKOFF_CAP = 64
 
 
+#: Price quantum of the opt-in banded memo key: prices within the same
+#: 1e-9-wide band hash identically. Half a band is the largest price
+#: perturbation a banded hit can hide, so the reused trajectory's
+#: suboptimality is bounded by ``quantum * T * K`` — far inside the 1e-9
+#: *relative* reproduction envelope for the paper's cost magnitudes.
+P1_QUANTUM = 1e-9
+
+
 def p1_digest(c: FloatArray, beta: float, cap: int, x0: FloatArray) -> bytes:
     """Exact identity of one SBS's ``P1`` subproblem, as a blake2b digest.
 
@@ -63,6 +71,26 @@ def p1_digest(c: FloatArray, beta: float, cap: int, x0: FloatArray) -> bytes:
     h = hashlib.blake2b(digest_size=16)
     h.update(struct.pack("<qqqd", c.shape[0], c.shape[1], cap, beta))
     h.update(np.ascontiguousarray(c).tobytes())
+    h.update(np.ascontiguousarray(x0).tobytes())
+    return h.digest()
+
+
+def p1_quantized_digest(
+    c: FloatArray, beta: float, cap: int, x0: FloatArray, *, quantum: float = P1_QUANTUM
+) -> bytes:
+    """Tolerance-banded ``P1`` digest: prices rounded to ``quantum`` bands.
+
+    Subgradient iterates whose prices drift by less than half a band map
+    to the same key, so a near-repeat can be answered from the memo. Only
+    the prices are banded — ``(cap, beta, x0)`` stay exact, because a
+    banded hit reuses the stored *trajectory* and any difference there
+    changes the feasible set, not just the objective. Callers must
+    re-evaluate the objective against the actual prices on a banded hit
+    (:meth:`SolveCache.lookup_banded` flags those).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(struct.pack("<qqqdd", c.shape[0], c.shape[1], cap, beta, quantum))
+    h.update(np.round(np.asarray(c, dtype=np.float64) / quantum).tobytes())
     h.update(np.ascontiguousarray(x0).tobytes())
     return h.digest()
 
@@ -80,6 +108,10 @@ class SolveCache:
         Per-SBS warm-resume snapshots for the flow backend.
     hits, misses:
         Memo lookup counters (exact skips vs. real solves).
+    quant_hits:
+        The subset of hits that a banded (quantized) key answered from an
+        entry solved for different raw prices — the extra reuse the
+        opt-in quantized memo bought over the exact digest.
     warm_resumes, warm_bailouts:
         Flow solves that started from a retained state, and the subset
         whose settle failed so they fell back to a cold solve.
@@ -89,7 +121,7 @@ class SolveCache:
         at :data:`BACKOFF_CAP`). A settled resume clears the entry.
     """
 
-    memo: "OrderedDict[bytes, tuple[np.ndarray, float]]" = field(
+    memo: "OrderedDict[bytes, tuple[np.ndarray, float, bytes | None]]" = field(
         default_factory=OrderedDict
     )
     flow_states: "dict[tuple[int, int, int, int], FlowState]" = field(
@@ -97,6 +129,7 @@ class SolveCache:
     )
     hits: int = 0
     misses: int = 0
+    quant_hits: int = 0
     warm_resumes: int = 0
     warm_bailouts: int = 0
     memo_limit: int = MEMO_LIMIT
@@ -116,12 +149,46 @@ class SolveCache:
             return None
         self.hits += 1
         self.memo.move_to_end(key)
-        x_bits, obj = entry
+        x_bits, obj, _ = entry
         return x_bits.astype(np.float64), obj
 
-    def store(self, key: bytes, x: FloatArray, objective: float) -> None:
-        """Memoize a solved ``(x, objective)`` under ``key`` (LRU-bounded)."""
-        self.memo[key] = (x.astype(np.uint8), objective)
+    def lookup_banded(
+        self, key: bytes, exact_key: bytes
+    ) -> tuple[FloatArray, float, bool] | None:
+        """Lookup under a quantized key; flags hits that crossed a band.
+
+        Returns ``(x, objective, banded)`` where ``banded`` is True when
+        the stored entry was solved for *different* raw prices inside the
+        same band — the caller must then re-evaluate the objective against
+        its actual prices (the trajectory itself stays valid: the feasible
+        set does not depend on prices).
+        """
+        entry = self.memo.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.memo.move_to_end(key)
+        x_bits, obj, stored_exact = entry
+        banded = stored_exact != exact_key
+        if banded:
+            self.quant_hits += 1
+        return x_bits.astype(np.float64), obj, banded
+
+    def store(
+        self,
+        key: bytes,
+        x: FloatArray,
+        objective: float,
+        *,
+        exact_key: bytes | None = None,
+    ) -> None:
+        """Memoize a solved ``(x, objective)`` under ``key`` (LRU-bounded).
+
+        ``exact_key`` records the exact digest of the solved subproblem so
+        banded lookups can tell same-bytes hits from cross-band reuse.
+        """
+        self.memo[key] = (x.astype(np.uint8), objective, exact_key)
         self.memo.move_to_end(key)
         while len(self.memo) > self.memo_limit:
             self.memo.popitem(last=False)
@@ -164,6 +231,7 @@ class SolveCache:
             "p1_memo_hits": self.hits,
             "p1_memo_misses": self.misses,
             "p1_memo_hit_rate": self.hit_rate,
+            "p1_quant_memo_hits": self.quant_hits,
             "flow_warm_resumes": self.warm_resumes,
             "flow_warm_bailouts": self.warm_bailouts,
         }

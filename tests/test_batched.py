@@ -1,0 +1,379 @@
+"""Equivalence properties of the batched solve core.
+
+The batched kernels (DESIGN.md, "Batched solve core") promise that
+``RuntimeConfig(batched=...)`` selects *granularity, not semantics*: the
+stacked ``P1`` certificate pass and the all-SBS ``P2`` water-fill must
+reproduce the per-SBS / per-slot loop paths bit-for-bit wherever the paths
+are both exact, and within ``1e-9`` (with equal objectives) where the
+reference itself is approximate. These tests pin that contract with
+randomized multi-SBS instances — uneven class counts included, so the
+zero-cap padding rows of the SBS-major stacking are exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import RuntimeConfig
+from repro.core.caching_lp import (
+    _objective_single,
+    _solve_batched_p1,
+    _solve_single_sbs_flow,
+    class_prices,
+    solve_caching,
+)
+from repro.core.load_balancing import (
+    _project_blocks_capped,
+    _solve_p2_fast,
+    _solve_p2_fista,
+    _waterfill_reference,
+    solve_y_given_x,
+)
+from repro.core.polish import polish_caching
+from repro.core.rounding import optimal_rounding_threshold, round_caching
+from repro.core.problem import JointProblem
+from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.optim.waterfill import waterfill_batch
+from repro.perf.solvecache import SolveCache
+
+BATCHED = RuntimeConfig(batched=True)
+LOOPED = RuntimeConfig(batched=False)
+
+
+def _multi_network(rng, *, N, K, C, beta=2.0, bandwidth=3.0, omega_hat=0.0):
+    """N-SBS network with 1-3 classes per SBS (uneven on purpose)."""
+    counts = rng.integers(1, 4, size=N)
+    classes, cid = [], 0
+    for n in range(N):
+        for _ in range(counts[n]):
+            classes.append(
+                MUClass(cid, n, float(rng.uniform(0.1, 1.0)), omega_hat)
+            )
+            cid += 1
+    return Network(
+        ContentCatalog(K),
+        tuple(SmallBaseStation(n, C, bandwidth, beta) for n in range(N)),
+        tuple(classes),
+    )
+
+
+def _multi_problem(rng, *, N, K, T, C, sparsity=0.3, omega_hat=0.0):
+    net = _multi_network(rng, N=N, K=K, C=C, omega_hat=omega_hat)
+    demand = rng.uniform(0.0, 3.0, size=(T, net.num_classes, K))
+    demand *= rng.random(demand.shape) > sparsity
+    return JointProblem(network=net, demand=demand)
+
+
+def _sparse_mu(rng, shape, scale=4.0, sparsity=0.4):
+    mu = rng.uniform(0.0, scale, size=shape)
+    mu *= rng.random(shape) > sparsity
+    return mu
+
+
+dims = st.tuples(
+    st.integers(0, 2**32 - 1),  # numpy seed
+    st.integers(2, 4),  # N
+    st.integers(3, 8),  # K
+    st.integers(1, 4),  # T
+    st.integers(1, 3),  # C
+)
+
+
+class TestP2Batched:
+    """The all-SBS stacked P2 equals the per-SBS loop, bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(dims)
+    def test_fast_path_bitwise(self, d):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        prob = _multi_problem(rng, N=N, K=K, T=T, C=C)
+        mu = _sparse_mu(rng, prob.y_shape)
+        loop = _solve_p2_fast(prob, mu, batched=False)
+        batched = _solve_p2_fast(prob, mu, batched=True)
+        assert np.array_equal(loop.y, batched.y)
+        assert loop.objective == batched.objective
+
+    @settings(max_examples=15, deadline=None)
+    @given(dims)
+    def test_fixed_cache_oracle_bitwise(self, d):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        prob = _multi_problem(rng, N=N, K=K, T=T, C=C)
+        x = np.zeros(prob.x_shape)
+        for t in range(T):
+            for n in range(N):
+                x[t, n, rng.choice(K, size=C, replace=False)] = 1.0
+        loop = solve_y_given_x(prob, x, config=LOOPED)
+        batched = solve_y_given_x(prob, x, config=BATCHED)
+        assert np.array_equal(loop.y, batched.y)
+        assert loop.objective == batched.objective
+
+    @settings(max_examples=8, deadline=None)
+    @given(dims)
+    def test_fista_bitwise(self, d):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        # omega_hat > 0 leaves the closed-form fast path: FISTA engages,
+        # where "batched" only changes the projection stacking.
+        prob = _multi_problem(rng, N=N, K=K, T=T, C=C, omega_hat=0.1)
+        mu = _sparse_mu(rng, prob.y_shape, scale=1.0)
+        loop = _solve_p2_fista(prob, mu, batched=False)
+        batched = _solve_p2_fista(prob, mu, batched=True)
+        assert np.array_equal(loop.y, batched.y)
+        assert loop.objective == batched.objective
+
+
+def _row_objective(alloc, lam, omega, mu, W, scale):
+    """P2 row objective in allocation space (what the water-fill minimizes)."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(alloc > 0, mu / np.where(lam > 0, lam, 1.0), 0.0)
+    residual = W - float((omega * alloc).sum())
+    return scale * residual * residual + float((slope * alloc).sum())
+
+
+def _random_stack(rng, R, J):
+    lam = rng.uniform(0.0, 3.0, size=(R, J)) * (rng.random((R, J)) > 0.3)
+    frac = rng.uniform(0.0, 1.0, size=(R, J))
+    caps = lam * frac  # routing caps never exceed demand volume
+    omega = rng.uniform(0.05, 1.0, size=(R, J))
+    mu = rng.uniform(0.0, 2.0, size=(R, J)) * (rng.random((R, J)) > 0.4)
+    W = (omega * caps).sum(axis=1) * rng.uniform(1.0, 1.5, size=R)
+    bandwidths = rng.uniform(0.5, 4.0, size=R)
+    return lam, caps, omega, mu, W, bandwidths
+
+
+class TestWaterfillKernel:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 6), st.integers(1, 9))
+    def test_early_exit_bitwise(self, seed, R, J):
+        """The bisection early-exit is a no-op on the returned numbers."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _random_stack(rng, R, J)
+        full = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0, early_exit=False)
+        fast = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0, early_exit=True)
+        assert np.array_equal(full[0], fast[0])
+        assert np.array_equal(full[1], fast[1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5), st.integers(1, 8))
+    def test_matches_bisection_reference(self, seed, R, J):
+        """Closed form is within 1e-9 of the historical bisection solver,
+        and never worse (it is exact where the reference is approximate)."""
+        rng = np.random.default_rng(seed)
+        lam, caps, _, mu, W, bw = _random_stack(rng, R, J)
+        # The reference solver takes one omega row shared by all rows
+        # (its rows are the slots of a single SBS).
+        omega_row = rng.uniform(0.05, 1.0, size=J)
+        omega = np.tile(omega_row, (R, 1))
+        scale = float(rng.uniform(0.2, 2.0))
+        bw_scalar = float(bw[0])
+        alloc, _ = waterfill_batch(
+            lam, caps, omega, mu, W, np.full(R, bw_scalar), scale
+        )
+        ref_alloc, _ = _waterfill_reference(
+            lam, caps, omega_row, mu, W, bw_scalar, scale
+        )
+        for r in range(R):
+            got = _row_objective(alloc[r], lam[r], omega[r], mu[r], W[r], scale)
+            ref = _row_objective(
+                ref_alloc[r], lam[r], omega[r], mu[r], W[r], scale
+            )
+            tol = 1e-9 * max(1.0, abs(ref))
+            assert got <= ref + tol
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5), st.integers(2, 8))
+    def test_zero_cap_columns_inert(self, seed, R, J):
+        """Padding columns (zero caps everywhere) cannot change any bit —
+        the compression recursion depends on it."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _random_stack(rng, R, J)
+        dead = rng.choice(J, size=max(1, J // 2), replace=False)
+        caps[:, dead] = 0.0
+        alloc, u = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+        keep = np.setdiff1d(np.arange(J), dead)
+        alloc_c, u_c = waterfill_batch(
+            np.ascontiguousarray(lam[:, keep]),
+            np.ascontiguousarray(caps[:, keep]),
+            np.ascontiguousarray(omega[:, keep]),
+            np.ascontiguousarray(mu[:, keep]),
+            W, bw, 1.0,
+        )
+        assert np.array_equal(alloc[:, keep], alloc_c)
+        assert np.array_equal(alloc[:, dead], np.zeros((R, dead.size)))
+        assert np.array_equal(u, u_c)
+
+
+class TestProjectionEarlyExit:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 6), st.integers(1, 9))
+    def test_bitwise(self, seed, R, J):
+        rng = np.random.default_rng(seed)
+        v = rng.uniform(-1.0, 2.0, size=(R, J))
+        a = rng.uniform(0.0, 3.0, size=(R, J)) * (rng.random((R, J)) > 0.2)
+        budgets = rng.uniform(0.5, 4.0, size=R)
+        caps = rng.uniform(0.0, 1.0, size=(R, J)) * (rng.random((R, J)) > 0.2)
+        full = _project_blocks_capped(v, a, budgets, caps, early_exit=False)
+        fast = _project_blocks_capped(v, a, budgets, caps, early_exit=True)
+        assert np.array_equal(full, fast)
+
+
+class TestP1Batched:
+    """The stacked certificate pass answers exactly like the flow backend."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(dims)
+    def test_accepted_solves_match_flow_exactly(self, d):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C)
+        mu = _sparse_mu(rng, (T, net.num_classes, K), sparsity=0.7)
+        prices = class_prices(net, mu)
+        x0 = np.zeros((N, K))
+        for n in range(N):
+            x0[n, rng.choice(K, size=rng.integers(0, C + 1), replace=False)] = 1.0
+        accepted = _solve_batched_p1(net, prices, x0, list(range(N)))
+        for n, (x_b, obj_b) in accepted.items():
+            x_f, obj_f = _solve_single_sbs_flow(
+                prices[:, n, :], float(net.sbss[n].replacement_cost),
+                int(net.sbss[n].cache_size), x0[n],
+            )
+            assert np.array_equal(x_b, x_f), f"SBS {n} trajectory differs"
+            assert obj_b == obj_f
+
+    @settings(max_examples=15, deadline=None)
+    @given(dims, st.booleans())
+    def test_solve_caching_batched_vs_loop(self, d, with_cache):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C)
+        mu = _sparse_mu(rng, (T, net.num_classes, K), sparsity=0.6)
+        x0 = np.zeros((N, K))
+        loop = solve_caching(
+            net, mu, x0, backend="flow", config=LOOPED,
+            cache=SolveCache() if with_cache else None,
+        )
+        batched = solve_caching(
+            net, mu, x0, backend="flow", config=BATCHED,
+            cache=SolveCache() if with_cache else None,
+        )
+        assert np.array_equal(loop.x, batched.x)
+        assert loop.objective == batched.objective
+
+    @pytest.mark.parametrize("executor", ["serial", "thread:2", "process:2"])
+    def test_executors_bitwise(self, rng, executor):
+        net = _multi_network(rng, N=3, K=6, C=2)
+        mu = _sparse_mu(rng, (3, net.num_classes, 6), sparsity=0.5)
+        x0 = np.zeros((3, 6))
+        base = solve_caching(net, mu, x0, backend="flow", config=BATCHED)
+        other = solve_caching(
+            net, mu, x0, backend="flow", executor=executor, config=BATCHED
+        )
+        assert np.array_equal(base.x, other.x)
+        assert base.objective == other.objective
+
+    def test_memo_hit_short_circuits_batch(self, rng):
+        """A warm cache answers repeats before the batched pass sees them."""
+        net = _multi_network(rng, N=3, K=6, C=2)
+        mu = _sparse_mu(rng, (3, net.num_classes, 6))
+        x0 = np.zeros((3, 6))
+        cache = SolveCache()
+        first = solve_caching(net, mu, x0, backend="flow", config=BATCHED, cache=cache)
+        misses = cache.misses
+        second = solve_caching(net, mu, x0, backend="flow", config=BATCHED, cache=cache)
+        assert cache.misses == misses  # all hits the second time
+        assert np.array_equal(first.x, second.x)
+        assert first.objective == second.objective
+
+
+class TestQuantizedMemo:
+    def test_band_hit_reevaluates_objective(self, rng):
+        """A cross-band hit reuses the trajectory but prices the actual
+        objective — drift at float-noise level stays within 1e-9."""
+        net = _multi_network(rng, N=2, K=6, C=2)
+        mu = _sparse_mu(rng, (3, net.num_classes, 6))
+        x0 = np.zeros((2, 6))
+        cfg = RuntimeConfig(batched=True, quantized_memo=True)
+        cache = SolveCache()
+        first = solve_caching(net, mu, x0, backend="flow", config=cfg, cache=cache)
+        drift = mu * (1.0 + rng.random(mu.shape) * 1e-14)
+        second = solve_caching(net, drift, x0, backend="flow", config=cfg, cache=cache)
+        assert cache.quant_hits >= 1
+        assert np.array_equal(first.x, second.x)
+        # The reported objective is exactly the reused trajectory priced
+        # against the *drifted* mu, not the stale stored value...
+        prices = class_prices(net, drift)
+        expected = sum(
+            _objective_single(
+                prices[:, n, :], float(net.sbss[n].replacement_cost),
+                second.x[:, n, :], x0[n],
+            )
+            for n in range(2)
+        )
+        assert second.objective == pytest.approx(expected, abs=1e-12)
+        # ...and the trajectory is within the 1e-9 envelope of a cold solve.
+        cold = solve_caching(net, drift, x0, backend="flow", config=BATCHED)
+        assert second.objective <= cold.objective + 1e-9 * max(
+            1.0, abs(cold.objective)
+        )
+
+    def test_exact_repeat_is_not_counted_banded(self, rng):
+        net = _multi_network(rng, N=2, K=5, C=1)
+        mu = _sparse_mu(rng, (2, net.num_classes, 5))
+        x0 = np.zeros((2, 5))
+        cfg = RuntimeConfig(batched=True, quantized_memo=True)
+        cache = SolveCache()
+        solve_caching(net, mu, x0, backend="flow", config=cfg, cache=cache)
+        solve_caching(net, mu, x0, backend="flow", config=cfg, cache=cache)
+        assert cache.quant_hits == 0  # same bytes, not cross-band reuse
+        assert cache.hits == 2
+
+
+class TestRoundingRepair:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 4), st.integers(2, 9))
+    def test_stacked_repair_matches_loop(self, seed, N, K):
+        """The vectorized capacity repair equals the per-(t, n) loop."""
+        rng = np.random.default_rng(seed)
+        T = int(rng.integers(1, 4))
+        # Cluster values near the threshold so over-capacity rows (and
+        # ties) actually occur.
+        x_frac = rng.choice(
+            [0.0, 0.3, 0.39, 0.4, 0.8, 1.0], size=(T, N, K)
+        ) * np.ones((T, N, K))
+        caps = rng.integers(1, max(2, K // 2), size=N)
+        got = round_caching(x_frac, caps)
+        expected = np.where(x_frac >= optimal_rounding_threshold(), 1.0, 0.0)
+        for n in range(N):
+            cap = int(caps[n])
+            for t in range(T):
+                sel = np.flatnonzero(expected[t, n] > 0.5)
+                if sel.size > cap:
+                    keep = sel[
+                        np.argsort(-x_frac[t, n, sel], kind="stable")
+                    ][:cap]
+                    expected[t, n] = 0.0
+                    expected[t, n, keep] = 1.0
+        assert np.array_equal(got, expected)
+        assert np.all((got > 0.5).sum(axis=2) <= caps[None, :])
+
+
+class TestPolishBatched:
+    @settings(max_examples=10, deadline=None)
+    @given(dims)
+    def test_batched_vs_loop_bitwise(self, d):
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        prob = _multi_problem(rng, N=N, K=K, T=T, C=C)
+        x = np.zeros(prob.x_shape)
+        for t in range(T):
+            for n in range(N):
+                x[t, n, rng.choice(K, size=C, replace=False)] = 1.0
+        x_l, y_l, cost_l = polish_caching(prob, x, config=LOOPED)
+        x_b, y_b, cost_b = polish_caching(prob, x, config=BATCHED)
+        assert np.array_equal(x_l, x_b)
+        assert np.array_equal(y_l, y_b)
+        assert cost_l.total == cost_b.total

@@ -94,6 +94,7 @@ class TestSolveCacheMemo:
             "p1_memo_hits",
             "p1_memo_misses",
             "p1_memo_hit_rate",
+            "p1_quant_memo_hits",
             "flow_warm_resumes",
             "flow_warm_bailouts",
         }
