@@ -1,0 +1,159 @@
+"""Serving-runtime bench: sustained RPS, decision latency, plan-swap health.
+
+Three legs, all on the headline scenario at the selected scale:
+
+1. **Paced open-loop replay** at 200 RPS (shed admission): the acceptance
+   leg. The background solver must keep ahead of the slot clock — zero
+   dropped plan swaps, zero shed requests — while the request path holds
+   its decision-latency percentiles.
+2. **Determinism**: two unpaced queue-mode replays of the same seeded
+   stream must produce byte-identical decision logs (equal digests).
+3. **Strategy comparison**: each routing strategy replays one shared
+   stream; realized costs and hit rates land in the record so heuristics
+   stay measurable against the paper's optimal-y split.
+
+Results land in ``BENCH_serve.json``; the ``*_seconds`` fields are gated
+by ``repro bench diff`` like every other benchmark record.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import build_scenario, run_serve
+from repro.serve import STRATEGIES, open_loop_requests, serve_requests
+
+#: The acceptance arrival rate and slot period of the paced leg.
+TARGET_RPS = 200.0
+SLOT_PERIOD = 0.25
+
+#: Paced-leg bound (slots), so the wall-clock leg stays ~10s at any scale.
+MAX_PACED_SLOTS = 40
+#: Unpaced determinism/strategy legs replay this many requests.
+DETERMINISM_REQUESTS = 1000
+STRATEGY_REQUESTS = 500
+
+
+def _serve_summary(report) -> dict:
+    return {
+        "requests": report.requests_total,
+        "decided": report.decided,
+        "shed": report.shed,
+        "hit_rate": report.hit_rate,
+        "offload_ratio": report.offload_ratio,
+        "sustained_rps": report.sustained_rps,
+        "offered_rps": report.offered_rps,
+        "plan_swaps": report.plan_swaps,
+        "plan_swaps_late": report.plan_swaps_late,
+        "plan_swaps_dropped": report.plan_swaps_dropped,
+        "solves": report.solves,
+        "cost_total": report.cost.total,
+        "decision_digest": report.digest,
+    }
+
+
+def test_serve_throughput_and_determinism(bench_scale, save_json):
+    seed = bench_scale.seeds[0]
+    scenario = build_scenario(seed=seed, horizon=bench_scale.horizon)
+    paced_slots = min(bench_scale.horizon, MAX_PACED_SLOTS)
+    paced_requests = int(paced_slots * SLOT_PERIOD * TARGET_RPS)
+
+    # Warm-up at a tiny horizon: imports, solver caches.
+    run_serve(
+        build_scenario(seed=seed, horizon=4),
+        rps=50.0,
+        slot_seconds=0.1,
+        seed=seed,
+        window=4,
+    )
+
+    # Leg 1 — paced 200 RPS replay; the solver must beat the slot clock.
+    paced = run_serve(
+        scenario,
+        rps=TARGET_RPS,
+        slot_seconds=SLOT_PERIOD,
+        seed=seed,
+        window=10,
+        admission="shed",
+        pace=True,
+        max_requests=paced_requests,
+    )
+    assert paced.plan_swaps_dropped == 0, "solver fell behind the slot clock"
+    assert paced.shed == 0, "admission shed requests at the target rate"
+    assert paced.decided == paced_requests
+    assert paced.sustained_rps >= 0.90 * paced.offered_rps
+
+    # Leg 2 — unpaced determinism: byte-identical logs across two runs.
+    replay_walls: list[float] = []
+    digests: list[str] = []
+    replayed = None
+    for _ in range(2):
+        started = time.perf_counter()
+        replayed = run_serve(
+            scenario,
+            rps=TARGET_RPS,
+            slot_seconds=SLOT_PERIOD,
+            seed=seed,
+            window=10,
+            max_requests=DETERMINISM_REQUESTS,
+        )
+        replay_walls.append(time.perf_counter() - started)
+        digests.append(replayed.digest)
+    deterministic = digests[0] == digests[1]
+    assert deterministic, f"same-seed digests differ: {digests}"
+    assert replayed.plan_swaps_dropped == 0
+    assert all(d.plan_slot == d.slot for d in replayed.decisions)
+
+    # Leg 3 — strategy comparison on one shared stream.
+    import asyncio
+
+    stream = open_loop_requests(
+        scenario,
+        rps=TARGET_RPS,
+        slot_seconds=SLOT_PERIOD,
+        seed=seed,
+        max_requests=STRATEGY_REQUESTS,
+    )
+    strategies = {}
+    for name in sorted(STRATEGIES):
+        report = asyncio.run(
+            serve_requests(
+                scenario,
+                stream,
+                strategy=name,
+                window=10,
+                slot_seconds=SLOT_PERIOD,
+            )
+        )
+        strategies[name] = {
+            "hit_rate": report.hit_rate,
+            "offload_ratio": report.offload_ratio,
+            "spills": report.spills,
+            "cost_total": report.cost.total,
+        }
+    assert strategies["optimal-y"]["cost_total"] <= min(
+        s["cost_total"] for s in strategies.values()
+    ) * 1.001, "optimal-y must not lose to a heuristic on its own stream"
+
+    save_json(
+        "serve",
+        {
+            "horizon": bench_scale.horizon,
+            "seed": seed,
+            "rps": TARGET_RPS,
+            "slot_period": SLOT_PERIOD,
+            "window": 10,
+            "paced_slots": paced_slots,
+            # gated wall-times
+            "serve_seconds": paced.wall_seconds,
+            "replay_seconds": min(replay_walls),
+            "decision_p50_seconds": paced.decision_p50_seconds,
+            "decision_p99_seconds": paced.decision_p99_seconds,
+            "plan_swap_p99_seconds": paced.swap_wait_p99_seconds,
+            # results
+            "paced": _serve_summary(paced),
+            "replay": _serve_summary(replayed),
+            "deterministic": deterministic,
+            "strategies": strategies,
+        },
+    )

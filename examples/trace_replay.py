@@ -21,7 +21,7 @@ from repro.api import (
     compute_edge_metrics,
     evaluate_plan,
     paper_demand,
-    replay_trace,
+    replay_plan,
     sample_poisson_trace,
     single_cell_network,
 )
@@ -46,7 +46,7 @@ def main() -> None:
         fluid_metrics = compute_edge_metrics(
             network, demand.rates, result.x, result.y
         )
-        report = replay_trace(network, trace, result.x, result.y)
+        report = replay_plan(network, trace, result.x, result.y)
         print(f"{name}")
         print(f"   fluid:    cost={result.cost.total:9.1f}  {fluid_metrics.summary()}")
         print(

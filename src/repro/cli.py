@@ -11,6 +11,7 @@ Examples
     repro sweep --axis noise --values 0 0.25  # Fig. 5
     repro bench --scale quick                 # benchmark suite (BENCH_*.json)
     repro resilience --horizon 40             # policies under a fault schedule
+    repro serve --rps 200 --trace out.jsonl   # live serving runtime (repro.serve)
     repro run --trace out.jsonl               # record a telemetry trace + manifest
     repro obs report out.jsonl                # ASCII dashboard of a recorded trace
 
@@ -31,7 +32,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import api
+from repro.config import ADMISSION_POLICIES
 from repro.obs import manifest_path_for, validate_manifest, validate_trace
+from repro.serve import STRATEGIES
 
 #: Metrics printed per sweep axis (mirrors the panels of Figs. 2-5).
 _AXIS_METRICS = {
@@ -165,6 +168,32 @@ def _cmd_resilience(args: argparse.Namespace) -> dict | None:
     return report.to_dict()
 
 
+def _cmd_serve(args: argparse.Namespace) -> dict | None:
+    scenario = api.build_scenario(seed=args.seeds[0], horizon=args.horizon)
+    report = api.run_serve(
+        scenario,
+        strategy=args.strategy,
+        rps=args.rps,
+        slot_seconds=args.slot_seconds,
+        admission=args.admission,
+        queue_depth=args.queue_depth,
+        window=args.window,
+        seed=args.seeds[0],
+        max_requests=args.max_requests,
+        pace=args.pace,
+        config=_runtime_config(args),
+    )
+    print()
+    print(api.render_serve_report(report))
+    if args.decision_log:
+        api.write_decision_log(args.decision_log, report.decisions)
+        print(
+            f"wrote {args.decision_log} ({len(report.decisions)} decisions)",
+            file=sys.stderr,
+        )
+    return report.to_dict()
+
+
 def _cmd_bench(args: argparse.Namespace) -> dict | None:
     if getattr(args, "bench_command", None) == "diff":
         return _cmd_bench_diff(args)
@@ -252,7 +281,21 @@ def _trace_config(args: argparse.Namespace, command: str) -> dict:
     the run was parallelized or where its artifacts were written.
     """
     config: dict = {"command": command}
-    for key in ("horizon", "window", "mode", "beta", "axis", "recover_tol"):
+    for key in (
+        "horizon",
+        "window",
+        "mode",
+        "beta",
+        "axis",
+        "recover_tol",
+        "strategy",
+        "rps",
+        "slot_seconds",
+        "admission",
+        "queue_depth",
+        "max_requests",
+        "pace",
+    ):
         value = getattr(args, key, None)
         if value is not None:
             config[key] = value
@@ -294,7 +337,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     # metavar hides the legacy aliases from --help while keeping them parseable.
     sub = parser.add_subparsers(
-        dest="command", required=True, metavar="{run,sweep,bench,resilience,obs}"
+        dest="command",
+        required=True,
+        metavar="{run,sweep,bench,resilience,serve,obs}",
     )
 
     pr = sub.add_parser("run", help="headline policy comparison (Section V-C)")
@@ -365,6 +410,62 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_common(pz)
 
+    pv = sub.add_parser(
+        "serve", help="live request-path serving runtime (plan swaps at slot edges)"
+    )
+    pv.add_argument(
+        "--rps",
+        type=float,
+        default=None,
+        help="open-loop arrival rate (default: REPRO_SERVE_RPS or 200)",
+    )
+    pv.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=None,
+        help="wall-clock length of one timeslot "
+        "(default: REPRO_SERVE_SLOT_SECONDS or 0.25)",
+    )
+    pv.add_argument(
+        "--admission",
+        choices=ADMISSION_POLICIES,
+        default=None,
+        help="what to do when the solver falls behind: backpressure ('queue') "
+        "or drop ('shed') (default: REPRO_SERVE_ADMISSION or 'queue')",
+    )
+    pv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="admission queue depth (default: REPRO_SERVE_QUEUE_DEPTH or 256)",
+    )
+    pv.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default="optimal-y",
+        help="routing strategy for cache-hit requests",
+    )
+    pv.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="truncate the open-loop stream after this many requests",
+    )
+    pv.add_argument(
+        "--pace",
+        action="store_true",
+        help="replay in real time (each request released at its virtual "
+        "arrival) instead of as fast as the loop drains",
+    )
+    pv.add_argument(
+        "--decision-log",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the canonical decision log (JSONL, sorted by seq) to PATH",
+    )
+    _add_common(pv)
+
     po = sub.add_parser("obs", help="inspect recorded telemetry (see --trace)")
     po.add_argument(
         "obs_command", choices=("report",), help="what to do with the trace"
@@ -420,6 +521,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "resilience": _cmd_resilience,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
     }
 

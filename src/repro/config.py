@@ -41,7 +41,31 @@ BATCHED_ENV = "REPRO_BATCHED"
 #: Supported opt-in switch for the quantized ``P1`` memo key (see
 #: :func:`repro.perf.solvecache.p1_quantized_digest`). Unset or ``0``
 #: keeps the byte-exact digest; any other value enables quantization.
+#: Measured on the headline-quick leg (EXPERIMENTS.md): the quantized key
+#: adds no hits there — drifting-``mu`` iterations move prices by far more
+#: than the 1e-9 band — so the byte-exact default stands; enable it only
+#: for workloads with near-stationary prices.
 QUANTIZED_MEMO_ENV = "REPRO_QUANTIZED_MEMO"
+
+#: Supported environment fallbacks for the serve runtime (:mod:`repro.serve`).
+#: Like the switches above they are part of the supported surface — CI and
+#: deployment wrappers set them — so they do not warn. Precedence at every
+#: consultation point: explicit argument > ``RuntimeConfig`` field > env >
+#: built-in default (see the ``resolved_serve_*`` helpers).
+SERVE_RPS_ENV = "REPRO_SERVE_RPS"
+SERVE_ADMISSION_ENV = "REPRO_SERVE_ADMISSION"
+SERVE_QUEUE_DEPTH_ENV = "REPRO_SERVE_QUEUE_DEPTH"
+SERVE_SLOT_SECONDS_ENV = "REPRO_SERVE_SLOT_SECONDS"
+
+#: Admission policies the serve runtime understands: ``"queue"`` applies
+#: backpressure to the producer when the request queue fills; ``"shed"``
+#: drops the overflow and keeps serving with whatever plan is committed.
+ADMISSION_POLICIES = ("queue", "shed")
+
+DEFAULT_SERVE_RPS = 200.0
+DEFAULT_SERVE_ADMISSION = "queue"
+DEFAULT_SERVE_QUEUE_DEPTH = 256
+DEFAULT_SERVE_SLOT_SECONDS = 0.25
 
 _WARNED: set[str] = set()
 
@@ -116,7 +140,23 @@ class RuntimeConfig:
         to a tolerance band before digesting so drifting-``mu`` iterations
         can share memo entries; objectives are recomputed for the actual
         prices on every quantized hit. ``REPRO_QUANTIZED_MEMO=1`` is the
-        environment override.
+        environment override. Measured on the headline leg it buys nothing
+        (see EXPERIMENTS.md), hence off by default.
+    serve_rps:
+        Open-loop arrival rate for the serve runtime (requests/second;
+        default 200). ``REPRO_SERVE_RPS`` is the environment override.
+    serve_admission:
+        Admission policy when the request queue fills: ``"queue"``
+        (backpressure the producer; default) or ``"shed"`` (drop the
+        overflow). ``REPRO_SERVE_ADMISSION`` is the environment override.
+    serve_queue_depth:
+        Bound on the serve request queue (default 256).
+        ``REPRO_SERVE_QUEUE_DEPTH`` is the environment override.
+    serve_slot_seconds:
+        Wall-clock length of one model timeslot while serving (default
+        0.25 s) — the budget the background re-solve has to produce the
+        next plan. ``REPRO_SERVE_SLOT_SECONDS`` is the environment
+        override.
     """
 
     executor: str | None = None
@@ -126,6 +166,10 @@ class RuntimeConfig:
     incremental: bool | None = None
     batched: bool | None = None
     quantized_memo: bool | None = None
+    serve_rps: float | None = None
+    serve_admission: str | None = None
+    serve_queue_depth: int | None = None
+    serve_slot_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -138,6 +182,26 @@ class RuntimeConfig:
             raise ConfigurationError(
                 "caching_backend must be flow, lp, or lp-simplex; "
                 f"got {self.caching_backend!r}"
+            )
+        if self.serve_rps is not None and not self.serve_rps > 0:
+            raise ConfigurationError(
+                f"serve_rps must be > 0, got {self.serve_rps}"
+            )
+        if (
+            self.serve_admission is not None
+            and self.serve_admission not in ADMISSION_POLICIES
+        ):
+            raise ConfigurationError(
+                f"serve_admission must be one of {ADMISSION_POLICIES}; "
+                f"got {self.serve_admission!r}"
+            )
+        if self.serve_queue_depth is not None and self.serve_queue_depth < 1:
+            raise ConfigurationError(
+                f"serve_queue_depth must be >= 1, got {self.serve_queue_depth}"
+            )
+        if self.serve_slot_seconds is not None and not self.serve_slot_seconds > 0:
+            raise ConfigurationError(
+                f"serve_slot_seconds must be > 0, got {self.serve_slot_seconds}"
             )
 
 
@@ -180,3 +244,102 @@ def resolved_quantized_memo(config: RuntimeConfig | None) -> bool:
     if config is not None and config.quantized_memo is not None:
         return config.quantized_memo
     return os.environ.get(QUANTIZED_MEMO_ENV, "") == "1"
+
+
+def _serve_env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _serve_env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def resolved_serve_rps(
+    config: RuntimeConfig | None, arg: float | None = None
+) -> float:
+    """Serve arrival rate: explicit arg, else config, else env, else 200."""
+    if arg is not None:
+        if not arg > 0:
+            raise ConfigurationError(f"serve rps must be > 0, got {arg}")
+        return float(arg)
+    if config is not None and config.serve_rps is not None:
+        return config.serve_rps
+    env = _serve_env_float(SERVE_RPS_ENV)
+    if env is not None:
+        if not env > 0:
+            raise ConfigurationError(f"{SERVE_RPS_ENV} must be > 0, got {env}")
+        return env
+    return DEFAULT_SERVE_RPS
+
+
+def resolved_serve_admission(
+    config: RuntimeConfig | None, arg: str | None = None
+) -> str:
+    """Admission policy: explicit arg, else config, else env, else queue."""
+    for source, value in (
+        ("serve admission", arg),
+        (None, config.serve_admission if config is not None else None),
+        (SERVE_ADMISSION_ENV, os.environ.get(SERVE_ADMISSION_ENV) or None),
+    ):
+        if value is None:
+            continue
+        if source is not None and value not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"{source} must be one of {ADMISSION_POLICIES}, got {value!r}"
+            )
+        return value
+    return DEFAULT_SERVE_ADMISSION
+
+
+def resolved_serve_queue_depth(
+    config: RuntimeConfig | None, arg: int | None = None
+) -> int:
+    """Serve queue bound: explicit arg, else config, else env, else 256."""
+    if arg is not None:
+        if arg < 1:
+            raise ConfigurationError(f"serve queue depth must be >= 1, got {arg}")
+        return int(arg)
+    if config is not None and config.serve_queue_depth is not None:
+        return config.serve_queue_depth
+    env = _serve_env_int(SERVE_QUEUE_DEPTH_ENV)
+    if env is not None:
+        if env < 1:
+            raise ConfigurationError(
+                f"{SERVE_QUEUE_DEPTH_ENV} must be >= 1, got {env}"
+            )
+        return env
+    return DEFAULT_SERVE_QUEUE_DEPTH
+
+
+def resolved_serve_slot_seconds(
+    config: RuntimeConfig | None, arg: float | None = None
+) -> float:
+    """Serve slot period: explicit arg, else config, else env, else 0.25 s."""
+    if arg is not None:
+        if not arg > 0:
+            raise ConfigurationError(
+                f"serve slot seconds must be > 0, got {arg}"
+            )
+        return float(arg)
+    if config is not None and config.serve_slot_seconds is not None:
+        return config.serve_slot_seconds
+    env = _serve_env_float(SERVE_SLOT_SECONDS_ENV)
+    if env is not None:
+        if not env > 0:
+            raise ConfigurationError(
+                f"{SERVE_SLOT_SECONDS_ENV} must be > 0, got {env}"
+            )
+        return env
+    return DEFAULT_SERVE_SLOT_SECONDS

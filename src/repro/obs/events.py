@@ -23,6 +23,8 @@ kind                 emitted when
 ``fault_injected``   the fault-active mask rises, or a schedule is bound
 ``fault_cleared``    the fault-active mask falls
 ``budget_exhausted`` an anytime :class:`~repro.optim.budget.SolveBudget` fired
+``plan_swap``        the serve loop installed a new committed ``(x, y)`` plan
+``request_shed``     serve admission control dropped a request (queue full)
 ``log``              a ``repro.*`` logging record routed into the recorder
 ===================  ========================================================
 
@@ -55,6 +57,8 @@ EVENT_KINDS = frozenset(
         "fault_injected",
         "fault_cleared",
         "budget_exhausted",
+        "plan_swap",
+        "request_shed",
         "log",
     }
 )

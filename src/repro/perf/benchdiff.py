@@ -47,6 +47,11 @@ _RESULT_FIELDS = frozenset(
         "trace_digest",
         "overhead_fraction",
         "executors_checked",
+        # serve-runtime measurement payloads (bench_serve)
+        "paced",
+        "replay",
+        "deterministic",
+        "strategies",
     }
 )
 

@@ -1,0 +1,73 @@
+"""`repro.serve` — the live serving runtime.
+
+Turns the batch simulator into a production-shaped system: an asyncio
+event loop answers a streamed request trace with cache-hit/miss and
+routing decisions from the currently committed plan ``(x, y)`` while the
+paper's controller re-solves concurrently in the background, swapping
+plans atomically at slot boundaries. See :mod:`repro.serve.loop` for the
+plan-swap contract, :mod:`repro.serve.routing` for the pluggable
+routing-strategy API, :mod:`repro.serve.admission` for backpressure /
+shedding, and :mod:`repro.serve.replay` for deterministic request streams
+and decision logs.
+"""
+
+from repro.serve.admission import AdmissionQueue, AdmissionStats
+from repro.serve.loop import (
+    CommittedPlan,
+    PlanManager,
+    ServeReport,
+    render_serve_report,
+    run_serve,
+    serve_requests,
+)
+from repro.serve.replay import (
+    Decision,
+    Request,
+    decision_digest,
+    decision_lines,
+    open_loop_requests,
+    read_decision_log,
+    requests_from_trace,
+    validate_stream,
+    write_decision_log,
+)
+from repro.serve.routing import (
+    STRATEGIES,
+    HealthScoreStrategy,
+    LeastConnectionsStrategy,
+    OptimalYStrategy,
+    RoundRobinStrategy,
+    RouteContext,
+    RoutingStrategy,
+    ServerView,
+    strategy_by_name,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionStats",
+    "CommittedPlan",
+    "Decision",
+    "HealthScoreStrategy",
+    "LeastConnectionsStrategy",
+    "OptimalYStrategy",
+    "PlanManager",
+    "Request",
+    "RoundRobinStrategy",
+    "RouteContext",
+    "RoutingStrategy",
+    "STRATEGIES",
+    "ServeReport",
+    "ServerView",
+    "decision_digest",
+    "decision_lines",
+    "open_loop_requests",
+    "read_decision_log",
+    "render_serve_report",
+    "requests_from_trace",
+    "run_serve",
+    "serve_requests",
+    "strategy_by_name",
+    "validate_stream",
+    "write_decision_log",
+]

@@ -1,0 +1,78 @@
+"""Admission control between the request producer and the serve loop.
+
+A bounded :class:`asyncio.Queue` sits between the arrival stream and the
+decision loop. When the loop falls behind (typically because a slot
+boundary is waiting on the background solver), the queue fills and the
+admission policy decides what happens next:
+
+- ``"queue"`` — backpressure: the producer blocks until space frees up.
+  No request is ever dropped, and the decision log stays a deterministic
+  function of the stream (the acceptance mode for determinism tests).
+- ``"shed"`` — load shedding: the overflow request is rejected
+  immediately. The producer records a ``shed`` decision and a
+  ``request_shed`` obs event and moves on — the latency-bounded mode,
+  at the price of losing requests (and with them log determinism, since
+  *which* requests overflow depends on real solver timing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.config import ADMISSION_POLICIES
+from repro.exceptions import ConfigurationError
+from repro.serve.replay import Request
+
+#: Queue sentinel marking the end of the request stream.
+_CLOSED = object()
+
+
+@dataclass
+class AdmissionStats:
+    """Producer-side admission counters."""
+
+    admitted: int = 0
+    shed: int = 0
+    max_depth: int = 0
+
+
+class AdmissionQueue:
+    """Bounded request queue applying one of :data:`ADMISSION_POLICIES`."""
+
+    def __init__(self, mode: str, depth: int) -> None:
+        if mode not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"admission mode must be one of {ADMISSION_POLICIES}, got {mode!r}"
+            )
+        if depth < 1:
+            raise ConfigurationError(f"queue depth must be >= 1, got {depth}")
+        self.mode = mode
+        self.depth = depth
+        self.stats = AdmissionStats()
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=depth)
+
+    async def offer(self, request: Request) -> bool:
+        """Submit a request; returns ``False`` when it was shed."""
+        if self.mode == "queue":
+            await self._queue.put(request)
+        else:
+            try:
+                self._queue.put_nowait(request)
+            except asyncio.QueueFull:
+                self.stats.shed += 1
+                return False
+        self.stats.admitted += 1
+        self.stats.max_depth = max(self.stats.max_depth, self._queue.qsize())
+        return True
+
+    async def close(self) -> None:
+        """Signal end-of-stream; always queued (never shed)."""
+        await self._queue.put(_CLOSED)
+
+    async def get(self) -> Request | None:
+        """Next admitted request, or ``None`` once the stream is closed."""
+        item = await self._queue.get()
+        if item is _CLOSED:
+            return None
+        return item

@@ -1,0 +1,271 @@
+"""Request streams and decision logs for the serve runtime.
+
+The serve loop consumes a stream of individual requests — the
+request-level view of the fluid demand the optimization model works with.
+Two generators produce such streams deterministically:
+
+- :func:`open_loop_requests` — synthetic open-loop arrivals at a fixed
+  RPS, with ``(class, item)`` drawn per-slot from the scenario's demand
+  distribution under a seeded generator;
+- :func:`requests_from_trace` — expansion of an integer
+  :class:`~repro.workload.trace.RequestTrace` into per-request arrivals
+  spread evenly across each slot.
+
+Arrivals are **virtual** timestamps (seconds since serve start). All
+decision-affecting state in the serve loop is a function of the request
+sequence and these virtual clocks — never of the wall clock — which is
+what makes two same-seed runs produce byte-identical decision logs
+(:func:`decision_digest`) even though the loop itself runs on asyncio.
+
+A :class:`Decision` is the serve-side analogue of a trace event: the
+canonical JSON line for one answered (or shed) request. The decision log
+is sorted by request sequence number before serialization, so the bytes do
+not depend on producer/consumer interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.scenario import Scenario
+from repro.workload.trace import RequestTrace
+
+#: Routes a decision can record: served by the class's SBS, served by the
+#: macro BS, or dropped by admission control before any server saw it.
+ROUTES = ("sbs", "bs", "shed")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request in a serve stream.
+
+    Attributes
+    ----------
+    seq:
+        0-based position in the stream (unique, monotone).
+    slot:
+        The model timeslot the request falls into.
+    mu_class:
+        Requesting MU class ``m``.
+    item:
+        Requested content ``k``.
+    arrival:
+        Virtual arrival time in seconds since serve start
+        (``slot * slot_seconds <= arrival < (slot + 1) * slot_seconds``).
+    """
+
+    seq: int
+    slot: int
+    mu_class: int
+    item: int
+    arrival: float
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The serve loop's answer to one request.
+
+    ``plan_slot`` is the slot of the committed plan the decision was made
+    from: equal to ``slot`` under ``queue`` admission (the atomicity
+    contract), possibly smaller under ``shed`` admission when the solver
+    fell behind, and ``-1`` for shed requests (no plan consulted).
+    ``hit`` records whether the content was cached at the class's SBS at
+    decision time; ``spill`` whether a cache-hit request was pushed to the
+    BS because the SBS was at its concurrency cap.
+    """
+
+    seq: int
+    slot: int
+    mu_class: int
+    item: int
+    route: str
+    hit: bool
+    spill: bool
+    plan_slot: int
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "slot": self.slot,
+                "mu_class": self.mu_class,
+                "item": self.item,
+                "route": self.route,
+                "hit": self.hit,
+                "spill": self.spill,
+                "plan_slot": self.plan_slot,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+def _slot_choices(
+    rng: np.random.Generator, rates_slot: np.ndarray, count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` (class, item) pairs from one slot's demand distribution."""
+    M, K = rates_slot.shape
+    total = float(rates_slot.sum())
+    if total <= 0.0:
+        flat = rng.integers(0, M * K, size=count)
+    else:
+        flat = rng.choice(M * K, size=count, p=(rates_slot / total).reshape(-1))
+    return flat // K, flat % K
+
+
+def open_loop_requests(
+    scenario: Scenario,
+    *,
+    rps: float,
+    slot_seconds: float,
+    seed: int = 0,
+    max_requests: int | None = None,
+) -> tuple[Request, ...]:
+    """Synthetic open-loop arrivals at a fixed rate, one per ``1/rps`` seconds.
+
+    Request ``i`` arrives at virtual time ``i / rps``; its ``(class, item)``
+    is drawn from the scenario's demand distribution of the slot the
+    arrival falls into (so surges injected by :func:`repro.api.inject_faults`
+    shape the stream). The stream ends at the scenario horizon or after
+    ``max_requests``, whichever comes first. Fully deterministic in
+    ``(scenario, rps, slot_seconds, seed)``.
+    """
+    if rps <= 0:
+        raise ConfigurationError(f"rps must be > 0, got {rps}")
+    if slot_seconds <= 0:
+        raise ConfigurationError(f"slot_seconds must be > 0, got {slot_seconds}")
+    horizon = scenario.horizon
+    total = int(math.ceil(horizon * slot_seconds * rps - 1e-9))
+    if max_requests is not None:
+        total = min(total, int(max_requests))
+    rng = np.random.default_rng(seed)
+    rates = scenario.demand.rates
+    arrivals = np.arange(total, dtype=np.float64) / rps
+    slots = np.minimum((arrivals / slot_seconds).astype(np.int64), horizon - 1)
+    requests: list[Request] = []
+    start = 0
+    while start < total:
+        slot = int(slots[start])
+        stop = start
+        while stop < total and slots[stop] == slot:
+            stop += 1
+        classes, items = _slot_choices(rng, rates[slot], stop - start)
+        for offset, (m, k) in enumerate(zip(classes, items)):
+            seq = start + offset
+            requests.append(
+                Request(
+                    seq=seq,
+                    slot=slot,
+                    mu_class=int(m),
+                    item=int(k),
+                    arrival=float(arrivals[seq]),
+                )
+            )
+        start = stop
+    return tuple(requests)
+
+
+def requests_from_trace(
+    trace: RequestTrace,
+    *,
+    slot_seconds: float,
+    seed: int | None = None,
+) -> tuple[Request, ...]:
+    """Expand an integer request trace into a serve stream.
+
+    Each slot's requests arrive evenly spaced inside the slot. Without a
+    seed the per-slot order is ``(class, item)``-sorted; with one it is a
+    seeded permutation (still deterministic).
+    """
+    if slot_seconds <= 0:
+        raise ConfigurationError(f"slot_seconds must be > 0, got {slot_seconds}")
+    rng = np.random.default_rng(seed) if seed is not None else None
+    requests: list[Request] = []
+    seq = 0
+    for t in range(trace.horizon):
+        counts = trace.counts[t]
+        ms, ks = np.nonzero(counts)
+        pairs = np.repeat(
+            np.stack([ms, ks], axis=1), counts[ms, ks].astype(np.int64), axis=0
+        )
+        if rng is not None and len(pairs):
+            pairs = pairs[rng.permutation(len(pairs))]
+        n_t = len(pairs)
+        for i, (m, k) in enumerate(pairs):
+            requests.append(
+                Request(
+                    seq=seq,
+                    slot=t,
+                    mu_class=int(m),
+                    item=int(k),
+                    arrival=(t + (i + 0.5) / max(n_t, 1)) * slot_seconds,
+                )
+            )
+            seq += 1
+    return tuple(requests)
+
+
+def decision_lines(decisions: Iterable[Decision]) -> list[str]:
+    """Canonical JSONL lines, sorted by request sequence number."""
+    ordered = sorted(decisions, key=lambda d: d.seq)
+    return [d.to_json() for d in ordered]
+
+
+def decision_digest(decisions: Iterable[Decision]) -> str:
+    """sha256 over the canonical decision log — the determinism fingerprint."""
+    digest = hashlib.sha256()
+    for line in decision_lines(decisions):
+        digest.update(line.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def write_decision_log(path: str | Path, decisions: Iterable[Decision]) -> int:
+    """Write the canonical decision log as JSONL; returns the line count."""
+    lines = decision_lines(decisions)
+    Path(path).write_text("".join(line + "\n" for line in lines))
+    return len(lines)
+
+
+def read_decision_log(path: str | Path) -> tuple[Decision, ...]:
+    """Read a decision log written by :func:`write_decision_log`."""
+    decisions = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        route = payload.get("route")
+        if route not in ROUTES:
+            raise ConfigurationError(f"unknown decision route {route!r}")
+        decisions.append(
+            Decision(
+                seq=int(payload["seq"]),
+                slot=int(payload["slot"]),
+                mu_class=int(payload["mu_class"]),
+                item=int(payload["item"]),
+                route=route,
+                hit=bool(payload["hit"]),
+                spill=bool(payload["spill"]),
+                plan_slot=int(payload["plan_slot"]),
+            )
+        )
+    return tuple(decisions)
+
+
+def validate_stream(requests: Sequence[Request]) -> None:
+    """Validate a stream: strictly increasing seq and non-decreasing arrivals."""
+    for i in range(1, len(requests)):
+        if requests[i].seq <= requests[i - 1].seq:
+            raise ConfigurationError("request seq must be strictly increasing")
+        if requests[i].arrival < requests[i - 1].arrival:
+            raise ConfigurationError("request arrivals must be non-decreasing")

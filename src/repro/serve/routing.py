@@ -1,0 +1,212 @@
+"""Pluggable request-routing strategies for the serve runtime.
+
+Per request the serve loop builds the list of *eligible* servers — the
+class's SBS when it is up, has the content cached, and is below its
+concurrency cap, and the macro BS always (uncapacitated fallback) — and
+asks a :class:`RoutingStrategy` to pick one. Three classic load-balancer
+heuristics are provided (round-robin, least-connections, health-score, in
+the shape of the adaptable-load-balancer strategy interface) next to
+:class:`OptimalYStrategy`, which paces requests to the paper's fractional
+load-balancing solution ``y`` so the heuristics can be benchmarked
+*against* the optimum on identical request streams.
+
+Strategies must be deterministic functions of the request sequence: they
+may keep internal counters (cursors, accumulators) but must not consult
+the wall clock or any RNG, or two same-seed serve runs stop producing
+byte-identical decision logs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ServerView:
+    """Mutable per-server routing state the loop maintains.
+
+    Attributes
+    ----------
+    sid:
+        Server id: ``"sbs:<n>"`` or ``"bs"``.
+    connections:
+        Currently open (virtual-time) connections.
+    failures:
+        Cumulative routing failures charged to this server — cache-hit
+        requests spilled to the BS because the server was saturated.
+    capacity:
+        Concurrency cap (``inf`` for the BS).
+    """
+
+    sid: str
+    connections: int = 0
+    failures: int = 0
+    capacity: float = math.inf
+
+    @property
+    def is_bs(self) -> bool:
+        return self.sid == "bs"
+
+
+@dataclass(frozen=True)
+class RouteContext:
+    """Read-only facts about the request being routed."""
+
+    slot: int
+    mu_class: int
+    item: int
+    cached: bool
+    sbs_up: bool
+    y_fraction: float
+
+
+class RoutingStrategy(ABC):
+    """Picks a server for each request from the eligible list.
+
+    ``servers`` is never empty and always ends with the BS; when the
+    class's SBS is eligible it precedes the BS. Implementations return one
+    element of ``servers``.
+    """
+
+    #: Registry name (``strategy_by_name``) and report label.
+    name: ClassVar[str] = "abstract"
+
+    def reset(self) -> None:
+        """Drop internal counters (called once per serve run)."""
+
+    @abstractmethod
+    def select_server(
+        self, servers: Sequence[ServerView], ctx: RouteContext
+    ) -> ServerView:
+        """Choose the server that answers this request."""
+
+
+class RoundRobinStrategy(RoutingStrategy):
+    """Cycle through the eligible servers in arrival order."""
+
+    name: ClassVar[str] = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select_server(
+        self, servers: Sequence[ServerView], ctx: RouteContext
+    ) -> ServerView:
+        choice = servers[self._cursor % len(servers)]
+        self._cursor += 1
+        return choice
+
+
+class LeastConnectionsStrategy(RoutingStrategy):
+    """Pick the eligible server with the fewest open connections."""
+
+    name: ClassVar[str] = "least-connections"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select_server(
+        self, servers: Sequence[ServerView], ctx: RouteContext
+    ) -> ServerView:
+        best = min(s.connections for s in servers)
+        candidates = [s for s in servers if s.connections == best]
+        choice = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return choice
+
+
+class HealthScoreStrategy(RoutingStrategy):
+    """Score servers by load *and* recent failures; pick the healthiest.
+
+    ``score = 1 / (1 + connections) * 1 / (1 + failures)`` — the
+    adaptable-load-balancer formula: a saturated or failure-prone server
+    decays toward 0 and sheds traffic to healthier peers. Ties break
+    round-robin.
+    """
+
+    name: ClassVar[str] = "health-score"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @staticmethod
+    def score(server: ServerView) -> float:
+        return 1.0 / (1.0 + server.connections) / (1.0 + server.failures)
+
+    def select_server(
+        self, servers: Sequence[ServerView], ctx: RouteContext
+    ) -> ServerView:
+        best = max(self.score(s) for s in servers)
+        candidates = [s for s in servers if self.score(s) == best]
+        choice = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return choice
+
+
+@dataclass
+class OptimalYStrategy(RoutingStrategy):
+    """Pace requests to the committed plan's fractional split ``y``.
+
+    The paper's solution says class ``m`` should send fraction
+    ``y[m, k]`` of its requests for item ``k`` to the SBS. Per ``(m, k)``
+    an error accumulator adds ``y`` each time the SBS is eligible and
+    fires an SBS route whenever it crosses 1 — deterministic
+    largest-remainder pacing whose long-run SBS share converges to ``y``
+    exactly.
+    """
+
+    name: ClassVar[str] = "optimal-y"
+
+    _acc: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self._acc.clear()
+
+    def select_server(
+        self, servers: Sequence[ServerView], ctx: RouteContext
+    ) -> ServerView:
+        if servers[0].is_bs:
+            return servers[0]
+        key = (ctx.mu_class, ctx.item)
+        acc = self._acc.get(key, 0.0) + min(max(ctx.y_fraction, 0.0), 1.0)
+        if acc >= 1.0 - 1e-9:
+            self._acc[key] = acc - 1.0
+            return servers[0]
+        self._acc[key] = acc
+        return servers[-1]
+
+
+#: Registered strategy constructors, keyed by :attr:`RoutingStrategy.name`.
+STRATEGIES = {
+    cls.name: cls
+    for cls in (
+        RoundRobinStrategy,
+        LeastConnectionsStrategy,
+        HealthScoreStrategy,
+        OptimalYStrategy,
+    )
+}
+
+
+def strategy_by_name(name: str) -> RoutingStrategy:
+    """Instantiate a registered strategy (fresh state) by name."""
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown routing strategy {name!r}; pick from {sorted(STRATEGIES)}"
+        )
+    return cls()

@@ -26,22 +26,27 @@ PUBLIC_API = [
     "ContentCatalog",
     "ConvergenceTrace",
     "CostBreakdown",
+    "DEPRECATED_API",
+    "Decision",
     "DemandMatrix",
     "DemandSurge",
     "DistributedOfflineOptimal",
     "EdgeMetrics",
     "FIFO",
     "FaultSchedule",
+    "HealthScoreStrategy",
     "JointProblem",
     "LFU",
     "LRFU",
     "LRU",
+    "LeastConnectionsStrategy",
     "LinearOperatingCost",
     "MUClass",
     "Network",
     "NoCache",
     "OfflineOptimal",
     "OnlineSolveSettings",
+    "OptimalYStrategy",
     "PerfectPredictor",
     "PerturbedPredictor",
     "PolicyPlan",
@@ -51,12 +56,17 @@ PUBLIC_API = [
     "QuadraticOperatingCost",
     "RHC",
     "Recorder",
+    "ReplayReport",
+    "Request",
     "ResilienceReport",
+    "RoundRobinStrategy",
+    "RoutingStrategy",
     "RunResult",
     "RuntimeConfig",
     "SWEEP_AXES",
     "SbsOutage",
     "Scenario",
+    "ServeReport",
     "SmallBaseStation",
     "SolveBudget",
     "SolveCache",
@@ -72,6 +82,7 @@ PUBLIC_API = [
     "compute_edge_metrics",
     "cost_ratios",
     "current_recorder",
+    "decision_digest",
     "default_fault_schedule",
     "default_policies",
     "diurnal_demand",
@@ -80,26 +91,35 @@ PUBLIC_API = [
     "headline_comparison",
     "inject_faults",
     "noise_sweep",
+    "open_loop_requests",
     "paper_demand",
     "paper_scenario",
+    "read_decision_log",
     "read_trace",
     "record_into",
     "render_headline_table",
     "render_resilience_table",
+    "render_serve_report",
     "render_sweep_table",
     "render_trace_dashboard",
+    "replay_plan",
     "replay_trace",
+    "requests_from_trace",
     "run_manifest",
     "run_policies",
     "run_policy",
     "run_resilience",
+    "run_serve",
     "sample_poisson_trace",
+    "serve_requests",
     "single_cell_network",
     "single_outage_with_degradation",
     "solve_primal_dual",
+    "strategy_by_name",
     "sweep",
     "sweep_to_dict",
     "window_sweep",
+    "write_decision_log",
     "write_manifest",
     "write_trace",
 ]
@@ -162,3 +182,62 @@ class TestFacadeFunctions:
 
         failures, _ = doctest.testmod(api)
         assert failures == 0
+
+
+class TestDeprecatedEntryPoints:
+    """Leaked internals superseded by the serve layer: warn-once shims."""
+
+    @pytest.fixture(autouse=True)
+    def _reset(self):
+        api.reset_api_deprecations()
+        yield
+        api.reset_api_deprecations()
+
+    def _replay_args(self):
+        import numpy as np
+
+        scenario = api.build_scenario(seed=1, horizon=2)
+        trace = api.sample_poisson_trace(
+            scenario.demand, rng=np.random.default_rng(0)
+        )
+        net = scenario.network
+        x = np.zeros((2, net.num_sbs, net.num_items))
+        y = np.zeros((2, net.num_classes, net.num_items))
+        return scenario.network, trace, x, y
+
+    def test_replay_trace_warns_once_and_delegates(self):
+        args = self._replay_args()
+        with pytest.warns(DeprecationWarning, match="replay_plan"):
+            report = api.replay_trace(*args)
+        assert report.total_requests == int(args[1].counts.sum())
+        # second call: no further warning
+        with warnings_catcher() as caught:
+            api.replay_trace(*args)
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+    def test_replay_plan_is_supported_and_silent(self):
+        args = self._replay_args()
+        with warnings_catcher() as caught:
+            report = api.replay_plan(*args)
+        assert not [w for w in caught if w.category is DeprecationWarning]
+        assert report.total_requests == int(args[1].counts.sum())
+
+    def test_removal_window_documented(self):
+        assert api.DEPRECATED_API == {"replay_trace": "v1.2"}
+
+
+def warnings_catcher():
+    import warnings
+
+    ctx = warnings.catch_warnings(record=True)
+
+    class _Catcher:
+        def __enter__(self):
+            caught = ctx.__enter__()
+            warnings.simplefilter("always")
+            return caught
+
+        def __exit__(self, *exc):
+            return ctx.__exit__(*exc)
+
+    return _Catcher()

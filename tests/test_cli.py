@@ -120,6 +120,63 @@ class TestRedesignedCli:
         assert "vs Offline" in capsys.readouterr().out
 
 
+class TestServeCli:
+    def test_serve_smoke_with_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import manifest_path_for
+        from repro.serve import read_decision_log
+
+        out = tmp_path / "serve.json"
+        log = tmp_path / "decisions.jsonl"
+        trace = tmp_path / "serve.jsonl"
+        code = main(
+            [
+                "serve", "--horizon", "6", "--window", "3", "--rps", "120",
+                "--max-requests", "60", "--seeds", "3",
+                "--json", str(out), "--decision-log", str(log),
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "strategy=optimal-y" in stdout
+        assert "plans" in stdout
+
+        payload = json.loads(out.read_text())
+        assert payload["requests_total"] == 60
+        assert payload["decided"] + payload["shed"] == 60
+        assert payload["decision_digest"]
+
+        decisions = read_decision_log(log)
+        assert len(decisions) == 60
+
+        manifest = json.loads(manifest_path_for(trace).read_text())
+        assert manifest["config"]["command"] == "serve"
+        assert manifest["config"]["rps"] == 120.0
+
+    def test_serve_same_seed_is_reproducible(self, tmp_path, capsys):
+        import json
+
+        digests = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main(
+                [
+                    "serve", "--horizon", "5", "--window", "2", "--rps", "80",
+                    "--seeds", "7", "--json", str(out),
+                ]
+            ) == 0
+            digests.append(json.loads(out.read_text())["decision_digest"])
+        capsys.readouterr()
+        assert digests[0] == digests[1]
+
+    def test_serve_rejects_bad_admission(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--admission", "panic"])
+        capsys.readouterr()
+
+
 class TestTraceCli:
     def test_run_with_trace_writes_jsonl_and_manifest(self, tmp_path, capsys):
         import json

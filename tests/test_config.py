@@ -8,14 +8,26 @@ import pytest
 
 from repro.config import (
     BACKEND_ENV,
+    DEFAULT_SERVE_ADMISSION,
+    DEFAULT_SERVE_QUEUE_DEPTH,
+    DEFAULT_SERVE_RPS,
+    DEFAULT_SERVE_SLOT_SECONDS,
     EXECUTOR_ENV,
     FLOW_REUSE_ENV,
+    SERVE_ADMISSION_ENV,
+    SERVE_QUEUE_DEPTH_ENV,
+    SERVE_RPS_ENV,
+    SERVE_SLOT_SECONDS_ENV,
     WORKERS_ENV,
     RuntimeConfig,
     deprecated_env,
     reset_deprecation_warnings,
     resolved_backend_pin,
     resolved_flow_reuse,
+    resolved_serve_admission,
+    resolved_serve_queue_depth,
+    resolved_serve_rps,
+    resolved_serve_slot_seconds,
 )
 from repro.exceptions import ConfigurationError
 from repro.perf.executor import get_executor
@@ -24,7 +36,16 @@ from repro.perf.executor import get_executor
 @pytest.fixture(autouse=True)
 def _clean_env(monkeypatch):
     """Isolate each test from ambient env vars and the warn-once registry."""
-    for name in (WORKERS_ENV, EXECUTOR_ENV, BACKEND_ENV, FLOW_REUSE_ENV):
+    for name in (
+        WORKERS_ENV,
+        EXECUTOR_ENV,
+        BACKEND_ENV,
+        FLOW_REUSE_ENV,
+        SERVE_RPS_ENV,
+        SERVE_ADMISSION_ENV,
+        SERVE_QUEUE_DEPTH_ENV,
+        SERVE_SLOT_SECONDS_ENV,
+    ):
         monkeypatch.delenv(name, raising=False)
     reset_deprecation_warnings()
     yield
@@ -113,6 +134,80 @@ class TestBackendAndFlowReuse:
         monkeypatch.setenv(FLOW_REUSE_ENV, "0")
         with pytest.warns(DeprecationWarning, match=FLOW_REUSE_ENV):
             assert resolved_flow_reuse(None) is False
+
+
+class TestServeKnobs:
+    """arg > config > env > default for the four ``serve_*`` settings.
+
+    The ``REPRO_SERVE_*`` variables are *supported* fallbacks (headless
+    deployments), not deprecated ones — resolution never warns.
+    """
+
+    def test_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolved_serve_rps(None) == DEFAULT_SERVE_RPS
+            assert resolved_serve_admission(None) == DEFAULT_SERVE_ADMISSION
+            assert resolved_serve_queue_depth(None) == DEFAULT_SERVE_QUEUE_DEPTH
+            assert resolved_serve_slot_seconds(None) == DEFAULT_SERVE_SLOT_SECONDS
+
+    def test_arg_beats_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SERVE_RPS_ENV, "50")
+        config = RuntimeConfig(serve_rps=100.0)
+        assert resolved_serve_rps(config, arg=400.0) == 400.0
+        assert resolved_serve_rps(config) == 100.0
+        assert resolved_serve_rps(None) == 50.0
+
+    def test_admission_precedence(self, monkeypatch):
+        monkeypatch.setenv(SERVE_ADMISSION_ENV, "shed")
+        assert resolved_serve_admission(None) == "shed"
+        assert resolved_serve_admission(RuntimeConfig(serve_admission="queue")) == "queue"
+        assert resolved_serve_admission(None, arg="queue") == "queue"
+
+    def test_queue_depth_precedence(self, monkeypatch):
+        monkeypatch.setenv(SERVE_QUEUE_DEPTH_ENV, "8")
+        assert resolved_serve_queue_depth(None) == 8
+        assert resolved_serve_queue_depth(RuntimeConfig(serve_queue_depth=16)) == 16
+        assert resolved_serve_queue_depth(None, arg=4) == 4
+
+    def test_slot_seconds_precedence(self, monkeypatch):
+        monkeypatch.setenv(SERVE_SLOT_SECONDS_ENV, "0.5")
+        assert resolved_serve_slot_seconds(None) == 0.5
+        assert (
+            resolved_serve_slot_seconds(RuntimeConfig(serve_slot_seconds=1.0)) == 1.0
+        )
+        assert resolved_serve_slot_seconds(None, arg=0.125) == 0.125
+
+    def test_config_validates_serve_fields(self):
+        with pytest.raises(ConfigurationError, match="serve_rps"):
+            RuntimeConfig(serve_rps=0.0)
+        with pytest.raises(ConfigurationError, match="serve_admission"):
+            RuntimeConfig(serve_admission="panic")
+        with pytest.raises(ConfigurationError, match="serve_queue_depth"):
+            RuntimeConfig(serve_queue_depth=0)
+        with pytest.raises(ConfigurationError, match="serve_slot_seconds"):
+            RuntimeConfig(serve_slot_seconds=-1.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolved_serve_rps(None, arg=-5.0)
+        with pytest.raises(ConfigurationError):
+            resolved_serve_admission(None, arg="panic")
+        with pytest.raises(ConfigurationError):
+            resolved_serve_queue_depth(None, arg=0)
+        with pytest.raises(ConfigurationError):
+            resolved_serve_slot_seconds(None, arg=0.0)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SERVE_RPS_ENV, "plenty")
+        with pytest.raises(ConfigurationError):
+            resolved_serve_rps(None)
+        monkeypatch.setenv(SERVE_ADMISSION_ENV, "panic")
+        with pytest.raises(ConfigurationError):
+            resolved_serve_admission(None)
+        monkeypatch.setenv(SERVE_QUEUE_DEPTH_ENV, "3.5")
+        with pytest.raises(ConfigurationError):
+            resolved_serve_queue_depth(None)
 
 
 class TestWarnOnce:
