@@ -70,6 +70,14 @@ def test_obs_overhead_and_determinism(bench_scale, save_json):
     events = recorder.events
     assert validate_trace(events) > 0
 
+    # The solver stack now streams quantile sketches (solve gap/iterations)
+    # through the same recorder; they must be populated, and the overhead
+    # budget below covers the sketch path since these reps recorded them.
+    gap_sketch = recorder.metrics.sketch("solve_gap")
+    assert gap_sketch is not None and gap_sketch.count > 0
+    sketch_names = {key[0] for key in recorder.metrics.items()["sketches"]}
+    assert {"solve_gap", "solve_iterations"} <= sketch_names
+
     # Recording must not perturb the results.
     assert set(recorded_results) == set(baseline_results)
     for name in baseline_results:
@@ -104,6 +112,7 @@ def test_obs_overhead_and_determinism(bench_scale, save_json):
             "max_overhead_rel": MAX_OVERHEAD_REL,
             "abs_slack_seconds": ABS_SLACK_SECONDS,
             "events": len(events),
+            "sketches": sorted(sketch_names),
             "trace_digest": digests["serial"],
             "executors_checked": list(EXECUTORS),
         },

@@ -1,0 +1,153 @@
+"""A tour of the live SLO telemetry layer (`repro.obs`).
+
+Five stops:
+
+1. streaming quantile sketches — bounded relative error, exact extrema,
+   and sharded merges that serialize byte-identically to a serial run;
+2. an instrumented serve run — the report's SLO block, the
+   decision-latency sketch, and plan-swap lag + solver stage timers;
+3. the live HTTP surface — poll /metrics and /slo while a paced serve
+   is in flight, and render one `repro obs top` dashboard frame;
+4. the determinism contract — telemetry on vs off, same decision digest;
+5. burn an impossible SLO, then diagnose the recorded trace post mortem
+   the way `repro obs analyze` does.
+
+Run:
+    python examples/live_telemetry_tour.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.api import (
+    QuantileSketch,
+    Recorder,
+    analyze_trace,
+    build_scenario,
+    record_into,
+    render_diagnosis,
+    render_top_frame,
+    run_serve,
+)
+
+METRICS_PORT = 19109
+SLOT_SECONDS = 0.25
+
+
+def main() -> None:
+    scenario = build_scenario(seed=7, horizon=8)
+
+    # --- 1. streaming quantile sketches -------------------------------
+    # Integer-valued floats: sums are exact, so sharded merges are
+    # byte-identical regardless of observation order.
+    values = [float(1 + (i * 37) % 100) for i in range(5000)]
+    serial = QuantileSketch()
+    for v in values:
+        serial.observe(v)
+    exact_p99 = sorted(values)[int(0.99 * len(values)) - 1]
+    est_p99 = serial.quantile(0.99)
+    assert exact_p99 <= est_p99 <= exact_p99 * (1 + serial.relative_error)
+    print(
+        f"sketch p99 {est_p99:.2f} vs exact {exact_p99:.2f} "
+        f"(guaranteed within {serial.relative_error:.2%})"
+    )
+
+    shards = [QuantileSketch() for _ in range(4)]
+    for i, v in enumerate(values):
+        shards[i % 4].observe(v)
+    merged = QuantileSketch()
+    for shard in shards:
+        merged.merge(shard)
+    assert json.dumps(merged.to_dict()) == json.dumps(serial.to_dict())
+    print("4-way sharded merge serializes byte-identically to serial\n")
+
+    # --- 2. an instrumented serve run ---------------------------------
+    recorder = Recorder()
+    with record_into(recorder):
+        report = run_serve(
+            scenario,
+            rps=150.0,
+            slot_seconds=0.05,
+            seed=7,
+            window=3,
+            max_requests=120,
+            slo="p99_decision_us<200000,shed_ratio<0.01",
+        )
+    slo = report.to_dict()["slo"]
+    print(
+        f"decision latency p50/p95/p99: {slo['decision_p50_us']:.0f}/"
+        f"{slo['decision_p95_us']:.0f}/{slo['decision_p99_us']:.0f} us, "
+        f"shed ratio {slo['shed_ratio']:.1%}, alerts {slo['alerts']}"
+    )
+    sketch = recorder.metrics.sketch("serve_decision_seconds")
+    assert sketch is not None and sketch.count == report.decided
+    swaps = [e for e in recorder.events if e.kind == "plan_swap"]
+    timed = [e for e in swaps if "solve_total_seconds" in e.data]
+    print(
+        f"the ambient recorder saw every decision ({sketch.count}) plus "
+        f"{len(swaps)} plan swaps ({len(timed)} with solver stage timers)\n"
+    )
+
+    # --- 3. the live HTTP surface -------------------------------------
+    def serve_live() -> None:
+        run_serve(
+            scenario,
+            rps=150.0,
+            slot_seconds=SLOT_SECONDS,
+            seed=7,
+            window=3,
+            pace=True,
+            metrics_port=METRICS_PORT,
+            slo="p99_decision_us<200000,shed_ratio<0.01",
+        )
+
+    worker = threading.Thread(target=serve_live)
+    worker.start()
+    time.sleep(4 * SLOT_SECONDS)  # let a few slots publish snapshots
+    base = f"http://127.0.0.1:{METRICS_PORT}"
+    with urllib.request.urlopen(base + "/metrics", timeout=5.0) as resp:
+        text = resp.read().decode("utf-8")
+    assert "serve_requests_total" in text
+    with urllib.request.urlopen(base + "/slo", timeout=5.0) as resp:
+        payload = json.loads(resp.read().decode("utf-8"))
+    print(f"/metrics exposes {len(text.splitlines())} Prometheus lines; "
+          f"/slo at slot {payload['slot']}:")
+    print(render_top_frame([payload]))
+    worker.join()
+    print()
+
+    # --- 4. telemetry never changes the decision log ------------------
+    def run_once(**kwargs):
+        return run_serve(
+            scenario,
+            rps=150.0,
+            slot_seconds=0.05,
+            seed=7,
+            window=3,
+            max_requests=120,
+            **kwargs,
+        )
+
+    plain = run_once()
+    live = run_once(metrics_port=0, slo="p99_decision_us<200000")
+    assert plain.digest == live.digest
+    print(f"digest parity, telemetry on vs off: {plain.digest[:16]}...\n")
+
+    # --- 5. burn an SLO, then diagnose the trace ----------------------
+    burned = Recorder()
+    with record_into(burned):
+        report = run_once(slo="p99_decision_us<0.001")  # sub-nanosecond p99
+    assert report.slo_alerts > 0
+    diagnosis = analyze_trace(burned.events)
+    print(render_diagnosis(diagnosis))
+    kinds = {f.kind for f in diagnosis.findings}
+    assert "slo_burn" in kinds
+    print("\nthe post-mortem pinpoints the burn windows deterministically")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,11 +58,22 @@ from repro.network.costs import LinearOperatingCost, QuadraticOperatingCost
 from repro.network.topology import single_cell_network
 from repro.obs import (
     ConvergenceTrace,
+    Diagnosis,
+    Finding,
+    MetricsServer,
+    QuantileSketch,
     Recorder,
+    SloSpec,
+    SloTracker,
     TraceEvent,
+    WindowedCounter,
+    analyze_trace,
     current_recorder,
+    parse_slo_specs,
     read_trace,
     record_into,
+    render_diagnosis,
+    render_top_frame,
     render_trace_dashboard,
     run_manifest,
     write_manifest,
@@ -355,12 +366,23 @@ __all__ = [
     "run_resilience",
     # observability
     "ConvergenceTrace",
+    "Diagnosis",
+    "Finding",
+    "MetricsServer",
+    "QuantileSketch",
     "Recorder",
+    "SloSpec",
+    "SloTracker",
     "StageTimers",
     "TraceEvent",
+    "WindowedCounter",
+    "analyze_trace",
     "current_recorder",
+    "parse_slo_specs",
     "read_trace",
     "record_into",
+    "render_diagnosis",
+    "render_top_frame",
     "render_trace_dashboard",
     "run_manifest",
     "write_manifest",

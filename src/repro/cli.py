@@ -12,8 +12,11 @@ Examples
     repro bench --scale quick                 # benchmark suite (BENCH_*.json)
     repro resilience --horizon 40             # policies under a fault schedule
     repro serve --rps 200 --trace out.jsonl   # live serving runtime (repro.serve)
+    repro serve --metrics-port 9109 --slo 'p99_decision_us<200'  # live SLOs
     repro run --trace out.jsonl               # record a telemetry trace + manifest
     repro obs report out.jsonl                # ASCII dashboard of a recorded trace
+    repro obs analyze out.jsonl               # post-mortem trace diagnosis
+    repro obs top --url http://127.0.0.1:9109 # live dashboard over /slo
 
 The pre-redesign commands (``fig2`` ... ``fig5``, ``headline``, ``demo``)
 still work as hidden aliases of ``sweep`` / ``run`` so existing scripts
@@ -181,6 +184,8 @@ def _cmd_serve(args: argparse.Namespace) -> dict | None:
         seed=args.seeds[0],
         max_requests=args.max_requests,
         pace=args.pace,
+        metrics_port=args.metrics_port,
+        slo=args.slo,
         config=_runtime_config(args),
     )
     print()
@@ -256,7 +261,14 @@ def _default_bench_dir() -> Path | None:
 
 
 def _cmd_obs(args: argparse.Namespace) -> dict | None:
-    """``repro obs report <trace>`` — render a recorded trace as a dashboard."""
+    """``repro obs {report,analyze,top}`` — inspect recorded or live telemetry."""
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.trace_file is None:
+        print(f"repro obs {args.obs_command} needs a trace file", file=sys.stderr)
+        raise SystemExit(2)
+    if args.obs_command == "analyze":
+        return _cmd_obs_analyze(args)
     events = api.read_trace(args.trace_file)
     print(api.render_trace_dashboard(events))
     manifest_path = manifest_path_for(args.trace_file)
@@ -270,6 +282,51 @@ def _cmd_obs(args: argparse.Namespace) -> dict | None:
             f"config_hash={manifest['config_hash'][:12]} "
             f"trace_digest={manifest['trace']['digest'][:12]}"
         )
+    return None
+
+
+def _cmd_obs_analyze(args: argparse.Namespace) -> dict | None:
+    """``repro obs analyze <trace>`` — deterministic post-mortem diagnosis.
+
+    ``--json`` emits the canonical machine-readable report instead of the
+    table; ``--strict`` exits non-zero unless the verdict is ``clean`` (the
+    CI gate).
+    """
+    diagnosis = api.analyze_trace(api.read_trace(args.trace_file))
+    if args.as_json:
+        print(diagnosis.to_json())
+    else:
+        print(api.render_diagnosis(diagnosis))
+    if args.strict and diagnosis.verdict != "clean":
+        raise SystemExit(1)
+    return None
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> dict | None:
+    """``repro obs top`` — live dashboard polling a serve ``/slo`` endpoint."""
+    import urllib.error
+    import urllib.request
+
+    endpoint = args.url.rstrip("/") + "/slo"
+    history: list[dict] = []
+    frame = 0
+    try:
+        while args.frames <= 0 or frame < args.frames:
+            if frame:
+                time.sleep(args.interval)
+            try:
+                with urllib.request.urlopen(endpoint, timeout=5.0) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+            except (OSError, urllib.error.URLError, ValueError) as exc:
+                print(f"obs top: cannot poll {endpoint}: {exc}", file=sys.stderr)
+                raise SystemExit(1) from exc
+            history.append(payload)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(api.render_top_frame(history))
+            frame += 1
+    except KeyboardInterrupt:
+        pass
     return None
 
 
@@ -464,16 +521,78 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="write the canonical decision log (JSONL, sorted by seq) to PATH",
     )
+    pv.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics, /healthz and /slo over HTTP on 127.0.0.1 "
+        "at this port for the duration of the run (0 = ephemeral; default: "
+        "REPRO_SERVE_METRICS_PORT or disabled)",
+    )
+    pv.add_argument(
+        "--slo",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="comma-separated SLO objectives evaluated with multi-window "
+        "burn-rate alerting, e.g. 'p99_decision_us<200,shed_ratio<0.01' "
+        "(default: REPRO_OBS_SLO or none)",
+    )
     _add_common(pv)
 
-    po = sub.add_parser("obs", help="inspect recorded telemetry (see --trace)")
+    po = sub.add_parser(
+        "obs", help="inspect recorded telemetry (see --trace) or a live run"
+    )
     po.add_argument(
-        "obs_command", choices=("report",), help="what to do with the trace"
+        "obs_command",
+        choices=("report", "analyze", "top"),
+        help="report: dashboard of a trace; analyze: post-mortem diagnosis; "
+        "top: live dashboard polling a serve /slo endpoint",
     )
     # dest deliberately differs from the --trace *recording* option so the
     # dispatch loop never mistakes the input path for a recording request.
     po.add_argument(
-        "trace_file", metavar="trace", type=str, help="trace file written by --trace"
+        "trace_file",
+        metavar="trace",
+        type=str,
+        nargs="?",
+        default=None,
+        help="trace file written by --trace (report/analyze only)",
+    )
+    po.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="analyze: emit the canonical JSON report instead of the table",
+    )
+    po.add_argument(
+        "--strict",
+        action="store_true",
+        help="analyze: exit non-zero unless the verdict is 'clean'",
+    )
+    po.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:9109",
+        help="top: base URL of a running 'repro serve --metrics-port' endpoint",
+    )
+    po.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        help="top: number of refreshes before exiting (0 = until interrupted)",
+    )
+    po.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="top: seconds between refreshes",
+    )
+    po.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="top: append frames instead of clearing the screen",
     )
 
     # Hidden legacy aliases (fig2..fig5, headline, demo).

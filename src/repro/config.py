@@ -56,6 +56,8 @@ SERVE_RPS_ENV = "REPRO_SERVE_RPS"
 SERVE_ADMISSION_ENV = "REPRO_SERVE_ADMISSION"
 SERVE_QUEUE_DEPTH_ENV = "REPRO_SERVE_QUEUE_DEPTH"
 SERVE_SLOT_SECONDS_ENV = "REPRO_SERVE_SLOT_SECONDS"
+SERVE_METRICS_PORT_ENV = "REPRO_SERVE_METRICS_PORT"
+OBS_SLO_ENV = "REPRO_OBS_SLO"
 
 #: Admission policies the serve runtime understands: ``"queue"`` applies
 #: backpressure to the producer when the request queue fills; ``"shed"``
@@ -157,6 +159,16 @@ class RuntimeConfig:
         0.25 s) — the budget the background re-solve has to produce the
         next plan. ``REPRO_SERVE_SLOT_SECONDS`` is the environment
         override.
+    serve_metrics_port:
+        Port for the live HTTP telemetry exporter (``/metrics``,
+        ``/healthz``, ``/slo``); ``0`` binds an ephemeral port, ``None``
+        (the default) disables the exporter. ``REPRO_SERVE_METRICS_PORT``
+        is the environment override.
+    obs_slo:
+        Declarative SLO spec string for the serve runtime, e.g.
+        ``"p99_decision_us<200,shed_ratio<0.01"``
+        (:func:`repro.obs.live.parse_slo_specs`); ``None`` disables SLO
+        tracking. ``REPRO_OBS_SLO`` is the environment override.
     """
 
     executor: str | None = None
@@ -170,6 +182,8 @@ class RuntimeConfig:
     serve_admission: str | None = None
     serve_queue_depth: int | None = None
     serve_slot_seconds: float | None = None
+    serve_metrics_port: int | None = None
+    obs_slo: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -203,6 +217,20 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"serve_slot_seconds must be > 0, got {self.serve_slot_seconds}"
             )
+        if self.serve_metrics_port is not None and not (
+            0 <= self.serve_metrics_port <= 65535
+        ):
+            raise ConfigurationError(
+                f"serve_metrics_port must be in [0, 65535], "
+                f"got {self.serve_metrics_port}"
+            )
+        if self.obs_slo is not None:
+            # Validate eagerly so a bad spec fails at config construction,
+            # not mid-run. Local import: repro.obs.live imports nothing
+            # from this module at import time beyond the exception type.
+            from repro.obs.live import parse_slo_specs
+
+            parse_slo_specs(self.obs_slo)
 
 
 def resolved_backend_pin(config: RuntimeConfig | None) -> str | None:
@@ -343,3 +371,42 @@ def resolved_serve_slot_seconds(
             )
         return env
     return DEFAULT_SERVE_SLOT_SECONDS
+
+
+def resolved_serve_metrics_port(
+    config: RuntimeConfig | None, arg: int | None = None
+) -> int | None:
+    """Metrics endpoint port: explicit arg, else config, else env, else off.
+
+    Returns ``None`` when the exporter is disabled; ``0`` means "bind an
+    ephemeral port".
+    """
+    for source, value in (
+        ("serve metrics port", arg),
+        (None, config.serve_metrics_port if config is not None else None),
+        (SERVE_METRICS_PORT_ENV, _serve_env_int(SERVE_METRICS_PORT_ENV)),
+    ):
+        if value is None:
+            continue
+        if not 0 <= value <= 65535:
+            raise ConfigurationError(
+                f"{source or 'serve_metrics_port'} must be in [0, 65535], "
+                f"got {value}"
+            )
+        return int(value)
+    return None
+
+
+def resolved_obs_slo(
+    config: RuntimeConfig | None, arg: str | None = None
+) -> str | None:
+    """SLO spec string: explicit arg, else config, else env, else none.
+
+    The spec grammar is validated by the consumer
+    (:func:`repro.obs.live.parse_slo_specs`).
+    """
+    if arg is not None:
+        return arg
+    if config is not None and config.obs_slo is not None:
+        return config.obs_slo
+    return os.environ.get(OBS_SLO_ENV) or None

@@ -38,7 +38,7 @@ from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
 from repro.network.costs import CostBreakdown
 from repro.obs.convergence import ConvergenceTrace
-from repro.obs.recorder import emit
+from repro.obs.recorder import emit, observe_quantile
 from repro.optim.budget import SolveBudget
 from repro.optim.subgradient import dual_ascent_recorder
 from repro.perf.executor import Executor, resolve_executor
@@ -192,6 +192,7 @@ def solve_primal_dual(
     solve_started = time.perf_counter()
     budget = SolveBudget(max_seconds=max_seconds) if max_seconds is not None else None
     stopped_by_budget = False
+    stopped_by_patience = False
 
     lower_bound = -np.inf
     best_cost: CostBreakdown | None = None
@@ -301,6 +302,7 @@ def solve_primal_dual(
             converged = True
             stop = True
         elif ub_patience is not None and since_ub_improved >= ub_patience:
+            stopped_by_patience = True
             stop = True
         elif budget is not None and budget.exhausted(iteration):
             stopped_by_budget = True
@@ -384,7 +386,13 @@ def solve_primal_dual(
         upper_bound=float(best_cost.total),
         converged=converged,
         stopped_by_budget=stopped_by_budget,
+        stopped_by_patience=stopped_by_patience,
     )
+    # Streaming sketches over *deterministic* solve outcomes only (never
+    # wall-clock), so merged registries stay byte-identical across
+    # executors (tests/test_obs_traces.py).
+    observe_quantile("solve_gap", float(gap))
+    observe_quantile("solve_iterations", float(iterations))
     if stopped_by_budget:
         emit(
             "budget_exhausted",

@@ -4,8 +4,11 @@ Event traces (:mod:`repro.obs.events`), the ambient
 :class:`~repro.obs.recorder.Recorder` with its metric registry
 (:mod:`repro.obs.recorder`), per-iteration convergence traces
 (:mod:`repro.obs.convergence`), deterministic exporters
-(:mod:`repro.obs.exporters`), and the ASCII trace dashboard
-(:mod:`repro.obs.dashboard`).
+(:mod:`repro.obs.exporters`), the ASCII trace dashboard
+(:mod:`repro.obs.dashboard`), streaming quantile sketches and sliding
+windows (:mod:`repro.obs.sketch`), live SLO tracking with an HTTP
+``/metrics`` exporter (:mod:`repro.obs.live`), and the post-mortem trace
+diagnoser behind ``repro obs analyze`` (:mod:`repro.obs.analyze`).
 
 Quickstart::
 
@@ -19,6 +22,12 @@ Quickstart::
     write_trace("run.jsonl", recorder)
 """
 
+from repro.obs.analyze import (
+    Diagnosis,
+    Finding,
+    analyze_trace,
+    render_diagnosis,
+)
 from repro.obs.convergence import ConvergenceRecorder, ConvergenceTrace
 from repro.obs.dashboard import render_trace_dashboard
 from repro.obs.events import (
@@ -42,6 +51,14 @@ from repro.obs.exporters import (
     write_slot_series,
     write_trace,
 )
+from repro.obs.live import (
+    MetricsServer,
+    ServeTelemetry,
+    SloSpec,
+    SloTracker,
+    parse_slo_specs,
+    render_top_frame,
+)
 from repro.obs.recorder import (
     Histogram,
     MetricRegistry,
@@ -53,21 +70,32 @@ from repro.obs.recorder import (
     install_log_bridge,
     label_scope,
     observe,
+    observe_quantile,
     record_into,
     set_gauge,
     slot_scope,
 )
+from repro.obs.sketch import QuantileSketch, WindowedCounter
 
 __all__ = [
     "EVENT_KINDS",
     "SCHEMA_VERSION",
     "ConvergenceRecorder",
     "ConvergenceTrace",
+    "Diagnosis",
+    "Finding",
     "Histogram",
     "MetricRegistry",
+    "MetricsServer",
+    "QuantileSketch",
     "Recorder",
     "RecorderHandler",
+    "ServeTelemetry",
+    "SloSpec",
+    "SloTracker",
     "TraceEvent",
+    "WindowedCounter",
+    "analyze_trace",
     "canonical_json",
     "config_digest",
     "current_recorder",
@@ -77,9 +105,13 @@ __all__ = [
     "label_scope",
     "manifest_path_for",
     "observe",
+    "observe_quantile",
+    "parse_slo_specs",
     "prometheus_snapshot",
     "read_trace",
     "record_into",
+    "render_diagnosis",
+    "render_top_frame",
     "render_trace_dashboard",
     "run_manifest",
     "set_gauge",

@@ -27,9 +27,16 @@ def _slot_cost_series(
         data = event.data
         policy = str(data.get("policy", "run"))
         total = data.get("total")
-        if total is None:
+        if total is None or isinstance(total, bool):
             continue
-        by_policy.setdefault(policy, {})[event.slot] = float(total)
+        try:
+            # Canonical JSON stringifies non-finite floats ("inf", "nan");
+            # float() round-trips those, and the chart renderer skips
+            # non-finite points. Anything unparseable is dropped.
+            value = float(total)
+        except (TypeError, ValueError):
+            continue
+        by_policy.setdefault(policy, {})[event.slot] = value
         slots.add(event.slot)
     ordered = sorted(slots)
     series = {

@@ -25,6 +25,7 @@ kind                 emitted when
 ``budget_exhausted`` an anytime :class:`~repro.optim.budget.SolveBudget` fired
 ``plan_swap``        the serve loop installed a new committed ``(x, y)`` plan
 ``request_shed``     serve admission control dropped a request (queue full)
+``slo_alert``        an SLO burn-rate alert fired (short+long windows hot)
 ``log``              a ``repro.*`` logging record routed into the recorder
 ===================  ========================================================
 
@@ -59,6 +60,7 @@ EVENT_KINDS = frozenset(
         "budget_exhausted",
         "plan_swap",
         "request_shed",
+        "slo_alert",
         "log",
     }
 )

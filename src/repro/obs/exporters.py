@@ -85,7 +85,9 @@ def prometheus_snapshot(metrics: MetricRegistry) -> str:
 
     Counters get a ``_total`` suffix; histograms expand to ``_bucket``
     (cumulative, with an explicit ``+Inf``), ``_sum``, and ``_count``
-    series, all sorted for stable output.
+    series; quantile sketches render as ``summary`` families with
+    ``quantile="0.5"/"0.95"/"0.99"`` labels — all sorted for stable
+    output.
     """
 
     def fmt_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
@@ -116,6 +118,16 @@ def prometheus_snapshot(metrics: MetricRegistry) -> str:
         lines.append(f"{name}_bucket{fmt_labels(labels, inf_le)} {hist.count}")
         lines.append(f"{name}_sum{fmt_labels(labels)} {hist.total:g}")
         lines.append(f"{name}_count{fmt_labels(labels)} {hist.count}")
+    for (name, labels), sketch in sorted(data.get("sketches", {}).items()):
+        lines.append(f"# TYPE {name} summary")
+        for q in (0.5, 0.95, 0.99):
+            est = sketch.quantile(q)
+            if est is None:
+                continue
+            q_label = f'quantile="{q:g}"'
+            lines.append(f"{name}{fmt_labels(labels, q_label)} {est:g}")
+        lines.append(f"{name}_sum{fmt_labels(labels)} {sketch.total:g}")
+        lines.append(f"{name}_count{fmt_labels(labels)} {sketch.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

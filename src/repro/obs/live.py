@@ -1,0 +1,550 @@
+"""Live telemetry surfaces for the serving runtime (DESIGN.md §11).
+
+Three pieces sit on top of the :mod:`repro.obs` recorder:
+
+- :class:`SloSpec` / :func:`parse_slo_specs` / :class:`SloTracker` —
+  declarative service-level objectives (``p99_decision_us<200``,
+  ``shed_ratio<0.01``, ``swap_drop_ratio<0.05``) evaluated with the
+  SRE-style **multi-window burn rate** rule: an alert fires only when the
+  error-budget burn exceeds the threshold over *both* a short and a long
+  sliding window, which suppresses single-spike false positives while
+  still catching fast burns. Windows advance on the clock the caller
+  feeds in — the serve loop uses request *virtual* arrival time, so
+  alert decisions are deterministic for a seeded, unpaced run.
+- :class:`MetricsServer` — a background-thread HTTP exporter on stdlib
+  ``http.server`` serving ``/metrics`` (Prometheus text), ``/healthz``,
+  and ``/slo`` (JSON quantiles + ratios + per-SBS utilization). It only
+  ever reads an immutable snapshot dict that the serve loop republishes
+  at slot boundaries (atomic attribute swap — no locks on the request
+  path, no dict-mutation races).
+- :class:`ServeTelemetry` — the aggregator the serve loop drives:
+  updates the tracker, counts alerts, and builds the published snapshot
+  from the run's :class:`~repro.obs.recorder.Recorder`.
+
+Everything here lives *outside* the virtual-time determinism contract:
+the exporter answers on wall-clock demand and latency values are
+wall-clock measurements. The contract that does hold (asserted by
+``tests/test_obs_live.py``) is that enabling any of it never changes the
+decision log of a seeded run.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.obs.recorder import Recorder
+from repro.obs.sketch import WindowedCounter
+
+__all__ = [
+    "SloSpec",
+    "parse_slo_specs",
+    "SloTracker",
+    "MetricsServer",
+    "ServeTelemetry",
+    "render_top_frame",
+]
+
+
+# --------------------------------------------------------------------------
+# SLO specs
+
+
+#: Known SLO names -> (kind, quantile). Latency thresholds are given in
+#: microseconds; ratio thresholds are fractions in (0, 1).
+_SLO_NAMES: dict[str, tuple[str, float | None]] = {
+    "p50_decision_us": ("latency", 0.50),
+    "p95_decision_us": ("latency", 0.95),
+    "p99_decision_us": ("latency", 0.99),
+    "shed_ratio": ("shed", None),
+    "swap_drop_ratio": ("swap", None),
+}
+
+_SPEC_RE = re.compile(r"^\s*([a-z0-9_]+)\s*<=?\s*([0-9.eE+-]+)\s*$")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed objective.
+
+    ``budget`` is the tolerated bad-event fraction: ``1 - q`` for a
+    latency quantile objective (at most that fraction of decisions may
+    exceed the threshold), the threshold itself for ratio objectives.
+    ``threshold_seconds`` carries the latency threshold in seconds
+    (``None`` for ratio objectives).
+    """
+
+    name: str
+    kind: str  # "latency" | "shed" | "swap"
+    threshold: float  # as written in the spec (us for latency)
+    budget: float
+    quantile: float | None = None
+    threshold_seconds: float | None = None
+
+    def describe(self) -> str:
+        return f"{self.name}<{self.threshold:g}"
+
+
+def parse_slo_specs(text: str | None) -> tuple[SloSpec, ...]:
+    """Parse a comma-separated SLO spec string.
+
+    >>> parse_slo_specs("p99_decision_us<200, shed_ratio<0.01")
+    (..., ...)
+
+    Unknown names, non-positive latency thresholds, and ratio thresholds
+    outside ``(0, 1)`` raise :class:`ConfigurationError`.
+    """
+    if text is None or not text.strip():
+        return ()
+    specs: list[SloSpec] = []
+    for chunk in text.split(","):
+        match = _SPEC_RE.match(chunk)
+        if match is None:
+            raise ConfigurationError(
+                f"bad SLO spec {chunk.strip()!r}; expected 'name<value' like "
+                f"'p99_decision_us<200'"
+            )
+        name, raw = match.group(1), match.group(2)
+        if name not in _SLO_NAMES:
+            raise ConfigurationError(
+                f"unknown SLO {name!r}; pick from {sorted(_SLO_NAMES)}"
+            )
+        try:
+            value = float(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad SLO threshold {raw!r} in {chunk.strip()!r}"
+            ) from exc
+        kind, quantile = _SLO_NAMES[name]
+        if kind == "latency":
+            if value <= 0:
+                raise ConfigurationError(
+                    f"latency SLO {name} needs a positive microsecond "
+                    f"threshold, got {value:g}"
+                )
+            assert quantile is not None
+            specs.append(
+                SloSpec(
+                    name=name,
+                    kind=kind,
+                    threshold=value,
+                    budget=round(1.0 - quantile, 10),
+                    quantile=quantile,
+                    threshold_seconds=value * 1e-6,
+                )
+            )
+        else:
+            if not 0.0 < value < 1.0:
+                raise ConfigurationError(
+                    f"ratio SLO {name} needs a threshold in (0, 1), "
+                    f"got {value:g}"
+                )
+            specs.append(
+                SloSpec(name=name, kind=kind, threshold=value, budget=value)
+            )
+    return tuple(specs)
+
+
+class SloTracker:
+    """Multi-window burn-rate evaluation over a set of :class:`SloSpec`.
+
+    Per spec, two (bad, total) sliding-window counter pairs track the
+    bad-event fraction over a short and a long window. The *burn rate*
+    is ``bad_fraction / budget`` — 1.0 means the error budget is being
+    consumed exactly at the tolerated rate. An alert fires when **both**
+    windows burn at or above ``burn_threshold``. Window sizes are in the
+    caller's time units (the serve loop feeds virtual seconds).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SloSpec],
+        *,
+        short_window: float = 1.0,
+        long_window: float = 10.0,
+        burn_threshold: float = 1.0,
+    ) -> None:
+        if short_window <= 0 or long_window < short_window:
+            raise ConfigurationError(
+                f"need 0 < short_window <= long_window, got "
+                f"{short_window} / {long_window}"
+            )
+        if burn_threshold <= 0:
+            raise ConfigurationError(
+                f"burn_threshold must be > 0, got {burn_threshold}"
+            )
+        self.specs = tuple(specs)
+        self.burn_threshold = float(burn_threshold)
+        self._windows: dict[str, dict[str, WindowedCounter]] = {
+            spec.name: {
+                "bad_short": WindowedCounter(short_window),
+                "total_short": WindowedCounter(short_window),
+                "bad_long": WindowedCounter(long_window),
+                "total_long": WindowedCounter(long_window),
+            }
+            for spec in self.specs
+        }
+
+    def _observe(self, kind: str, t: float, bad: bool) -> None:
+        for spec in self.specs:
+            if spec.kind != kind:
+                continue
+            w = self._windows[spec.name]
+            w["total_short"].add(t)
+            w["total_long"].add(t)
+            if bad:
+                w["bad_short"].add(t)
+                w["bad_long"].add(t)
+
+    def observe_decision(self, t: float, seconds: float) -> None:
+        """One routing decision took ``seconds`` (wall) at virtual ``t``."""
+        for spec in self.specs:
+            if spec.kind != "latency":
+                continue
+            w = self._windows[spec.name]
+            w["total_short"].add(t)
+            w["total_long"].add(t)
+            assert spec.threshold_seconds is not None
+            if seconds > spec.threshold_seconds:
+                w["bad_short"].add(t)
+                w["bad_long"].add(t)
+
+    def observe_request(self, t: float, *, shed: bool) -> None:
+        self._observe("shed", t, shed)
+
+    def observe_swap(self, t: float, *, dropped: bool) -> None:
+        self._observe("swap", t, dropped)
+
+    def status(self, now: float) -> list[dict[str, Any]]:
+        """Per-spec burn state at time ``now`` (sorted by spec name)."""
+        out: list[dict[str, Any]] = []
+        for spec in sorted(self.specs, key=lambda s: s.name):
+            w = self._windows[spec.name]
+            ts = w["total_short"].total(now)
+            tl = w["total_long"].total(now)
+            frac_short = w["bad_short"].total(now) / ts if ts else 0.0
+            frac_long = w["bad_long"].total(now) / tl if tl else 0.0
+            burn_short = frac_short / spec.budget
+            burn_long = frac_long / spec.budget
+            out.append(
+                {
+                    "slo": spec.describe(),
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "threshold": spec.threshold,
+                    "budget": spec.budget,
+                    "burn_short": burn_short,
+                    "burn_long": burn_long,
+                    "alert": bool(
+                        ts
+                        and tl
+                        and burn_short >= self.burn_threshold
+                        and burn_long >= self.burn_threshold
+                    ),
+                }
+            )
+        return out
+
+    def evaluate(self, now: float) -> list[dict[str, Any]]:
+        """The alerting subset of :meth:`status` at time ``now``."""
+        return [entry for entry in self.status(now) if entry["alert"]]
+
+
+# --------------------------------------------------------------------------
+# HTTP exporter
+
+
+def _make_handler(
+    snapshot_fn: Callable[[], Mapping[str, Any]]
+) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, *args: Any) -> None:  # silence stderr
+            pass
+
+        def _send(self, status: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            try:
+                snap = snapshot_fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send(500, f"snapshot failed: {exc}\n", "text/plain")
+                return
+            if path == "/metrics":
+                self._send(
+                    200,
+                    str(snap.get("metrics_text", "")),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/healthz":
+                body = json.dumps(
+                    {
+                        "status": "ok" if snap.get("healthy", True) else "degraded",
+                        "slot": snap.get("slot"),
+                        "alerts_total": snap.get("alerts_total", 0),
+                    },
+                    sort_keys=True,
+                )
+                self._send(200, body + "\n", "application/json")
+            elif path == "/slo":
+                body = json.dumps(snap.get("slo", {}), sort_keys=True)
+                self._send(200, body + "\n", "application/json")
+            else:
+                self._send(404, f"no route {path}\n", "text/plain")
+
+    return Handler
+
+
+class MetricsServer:
+    """Background-thread HTTP exporter over a snapshot function.
+
+    ``snapshot_fn`` must return a mapping with (all optional) keys
+    ``metrics_text`` (Prometheus text for ``/metrics``), ``slo`` (JSON
+    payload for ``/slo``), ``healthy``, ``slot``, and ``alerts_total``
+    (``/healthz``). It is called on exporter threads, so hand it an
+    atomically-swapped immutable snapshot, never a live mutable registry
+    (:class:`ServeTelemetry` does exactly that).
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns the bound
+    port. Use as a context manager to guarantee shutdown.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Mapping[str, Any]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._snapshot_fn = snapshot_fn
+        self.host = host
+        self.port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        if self._server is not None:
+            return self.port
+        try:
+            server = ThreadingHTTPServer(
+                (self.host, self.port), _make_handler(self._snapshot_fn)
+            )
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind metrics endpoint on {self.host}:{self.port}: {exc}"
+            ) from exc
+        server.daemon_threads = True
+        self._server = server
+        self.port = int(server.server_address[1])
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------------
+# Serve-loop aggregator
+
+
+class ServeTelemetry:
+    """Aggregates live serve telemetry and publishes exporter snapshots.
+
+    The serve loop owns one of these when live surfaces are enabled. All
+    mutation happens on the event-loop thread; :meth:`snapshot` (called
+    from exporter threads) only reads the last published immutable dict.
+    """
+
+    def __init__(
+        self, recorder: Recorder, tracker: SloTracker | None = None
+    ) -> None:
+        self.recorder = recorder
+        self.tracker = tracker
+        self.alerts_total = 0
+        self._snapshot: dict[str, Any] = {
+            "healthy": True,
+            "slot": None,
+            "alerts_total": 0,
+            "slo": {},
+            "metrics_text": "",
+        }
+
+    def snapshot(self) -> Mapping[str, Any]:
+        return self._snapshot
+
+    # -- tracker feeds (no-ops without a tracker) --------------------------
+
+    def decision(self, t: float, seconds: float) -> None:
+        if self.tracker is not None:
+            self.tracker.observe_decision(t, seconds)
+
+    def request(self, t: float, *, shed: bool) -> None:
+        if self.tracker is not None:
+            self.tracker.observe_request(t, shed=shed)
+
+    def swap(self, t: float, *, dropped: bool) -> None:
+        if self.tracker is not None:
+            self.tracker.observe_swap(t, dropped=dropped)
+
+    def evaluate(self, now: float) -> list[dict[str, Any]]:
+        """Burn-rate alerts at virtual time ``now`` (counted per call)."""
+        if self.tracker is None:
+            return []
+        alerts = self.tracker.evaluate(now)
+        self.alerts_total += len(alerts)
+        return alerts
+
+    # -- snapshot publication ----------------------------------------------
+
+    def publish(
+        self,
+        *,
+        slot: int | None,
+        now: float,
+        queue_depth: int | None = None,
+        plan_lag: int | None = None,
+        sbs_utilization: Mapping[int, float] | None = None,
+    ) -> None:
+        """Rebuild and atomically swap the exporter snapshot.
+
+        Called at slot boundaries and at end of run, on the loop thread —
+        the only place live registry state is read.
+        """
+        # Local import: exporters imports recorder; keep module import
+        # order acyclic (recorder <- exporters <- live).
+        from repro.obs.exporters import prometheus_snapshot
+
+        metrics = self.recorder.metrics
+        decided = metrics.counter("serve_requests")
+        shed = metrics.counter("serve_shed")
+        offered = decided + shed
+        swaps = metrics.counter("serve_plan_swaps")
+        dropped = metrics.counter("serve_plan_swaps_dropped")
+        sketch = metrics.sketch("serve_decision_seconds")
+        slo: dict[str, Any] = {
+            "slot": slot,
+            "decision_latency_seconds": (
+                sketch.summary((0.5, 0.95, 0.99)) if sketch is not None else None
+            ),
+            "requests_offered": offered,
+            "shed_ratio": (shed / offered) if offered else 0.0,
+            "swap_drop_ratio": (dropped / swaps) if swaps else 0.0,
+            "queue_depth": queue_depth,
+            "plan_lag": plan_lag,
+            "sbs_utilization": (
+                {str(n): sbs_utilization[n] for n in sorted(sbs_utilization)}
+                if sbs_utilization is not None
+                else {}
+            ),
+            "objectives": self.tracker.status(now) if self.tracker else [],
+            "alerts_total": self.alerts_total,
+        }
+        self._snapshot = {
+            "healthy": True,
+            "slot": slot,
+            "alerts_total": self.alerts_total,
+            "slo": slo,
+            "metrics_text": prometheus_snapshot(metrics),
+        }
+
+
+# --------------------------------------------------------------------------
+# `repro obs top` frame rendering
+
+
+def render_top_frame(
+    history: Sequence[Mapping[str, Any]], *, width: int = 60, height: int = 10
+) -> str:
+    """One ASCII dashboard frame from a history of ``/slo`` payloads.
+
+    Deterministic in its input (no clock reads); the CLI loop handles
+    polling, clearing, and sleeping.
+    """
+    from repro.sim.ascii_chart import render_series_chart
+
+    if not history:
+        return "obs top: waiting for first /slo sample..."
+    latest = history[-1]
+    lat = latest.get("decision_latency_seconds") or {}
+    p99_s = [
+        (frame.get("decision_latency_seconds") or {}).get("p99") or 0.0
+        for frame in history
+    ]
+    shed = [float(frame.get("shed_ratio") or 0.0) for frame in history]
+    chart = render_series_chart(
+        list(range(len(history))),
+        {
+            "p99_ms": [v * 1e3 for v in p99_s],
+            "shed_pct": [v * 100.0 for v in shed],
+        },
+        title="decision p99 (ms) / shed (%)",
+        x_label="sample",
+        width=width,
+        height=height,
+    )
+    lines = [chart, ""]
+    lines.append(
+        f"slot={latest.get('slot')}  offered={latest.get('requests_offered')}  "
+        f"shed={float(latest.get('shed_ratio') or 0.0):.2%}  "
+        f"swap_drop={float(latest.get('swap_drop_ratio') or 0.0):.2%}  "
+        f"alerts={latest.get('alerts_total', 0)}"
+    )
+    if lat:
+        p50 = lat.get("p50")
+        p95 = lat.get("p95")
+        p99 = lat.get("p99")
+        fmt = lambda v: "-" if v is None else f"{v * 1e6:.0f}us"  # noqa: E731
+        lines.append(
+            f"decision latency: p50 {fmt(p50)}  p95 {fmt(p95)}  p99 {fmt(p99)}"
+            f"  n={lat.get('count', 0)}"
+        )
+    util = latest.get("sbs_utilization") or {}
+    if util:
+        cells = []
+        for sid in sorted(util, key=lambda s: int(s)):
+            frac = max(0.0, min(1.0, float(util[sid])))
+            bar = "#" * round(frac * 10)
+            cells.append(f"sbs{sid} [{bar:<10}] {frac:.0%}")
+        lines.append("utilization: " + "  ".join(cells))
+    objectives = latest.get("objectives") or []
+    for entry in objectives:
+        flag = "ALERT" if entry.get("alert") else "ok"
+        lines.append(
+            f"slo {entry.get('slo'):<24} burn short {entry.get('burn_short', 0.0):6.2f} "
+            f"long {entry.get('burn_long', 0.0):6.2f}  {flag}"
+        )
+    return "\n".join(lines)

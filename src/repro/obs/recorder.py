@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 from repro.obs.events import SCHEMA_VERSION, TraceEvent
+from repro.obs.sketch import QuantileSketch
 
 #: Label sets are canonicalized to sorted tuples so ``(name, labels)`` keys
 #: are order-insensitive at call sites.
@@ -95,7 +96,8 @@ class Histogram:
 
 
 class MetricRegistry:
-    """Counters, gauges, and histograms keyed by ``(name, labels)``.
+    """Counters, gauges, histograms, and quantile sketches keyed by
+    ``(name, labels)``.
 
     Insertion-ordered (plain dicts), so two registries fed the same
     sequence of updates serialize identically — the property the
@@ -106,6 +108,7 @@ class MetricRegistry:
         self._counters: dict[MetricKey, float] = {}
         self._gauges: dict[MetricKey, float] = {}
         self._histograms: dict[MetricKey, Histogram] = {}
+        self._sketches: dict[MetricKey, QuantileSketch] = {}
 
     def inc(
         self,
@@ -136,6 +139,18 @@ class MetricRegistry:
             hist = self._histograms[key] = Histogram()
         hist.observe(value)
 
+    def observe_quantile(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        key = (name, _label_key(labels))
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            sketch = self._sketches[key] = QuantileSketch()
+        sketch.observe(value)
+
     def counter(
         self, name: str, labels: Mapping[str, Any] | None = None
     ) -> float:
@@ -151,9 +166,15 @@ class MetricRegistry:
     ) -> Histogram | None:
         return self._histograms.get((name, _label_key(labels)))
 
+    def sketch(
+        self, name: str, labels: Mapping[str, Any] | None = None
+    ) -> QuantileSketch | None:
+        return self._sketches.get((name, _label_key(labels)))
+
     def merge(self, other: "MetricRegistry") -> None:
         """Fold ``other`` into self: counters add, gauges last-write-wins,
-        histograms pool. Call in task-input order for determinism."""
+        histograms and sketches pool. Call in task-input order for
+        determinism."""
         for key, value in other._counters.items():
             self._counters[key] = self._counters.get(key, 0.0) + value
         for key, value in other._gauges.items():
@@ -166,6 +187,16 @@ class MetricRegistry:
                 self._histograms[key] = copy
             else:
                 mine.merge(hist)
+        for key, sketch in other._sketches.items():
+            mine_sketch = self._sketches.get(key)
+            if mine_sketch is None:
+                copy_sketch = QuantileSketch(
+                    sketch.lo, sketch.hi, sketch.buckets_per_decade
+                )
+                copy_sketch.merge(sketch)
+                self._sketches[key] = copy_sketch
+            else:
+                mine_sketch.merge(sketch)
 
     @staticmethod
     def _key_str(key: MetricKey) -> str:
@@ -187,6 +218,10 @@ class MetricRegistry:
                 self._key_str(k): h.to_dict()
                 for k, h in sorted(self._histograms.items())
             },
+            "sketches": {
+                self._key_str(k): s.to_dict()
+                for k, s in sorted(self._sketches.items())
+            },
         }
 
     def items(self) -> dict[str, dict[MetricKey, Any]]:
@@ -194,6 +229,7 @@ class MetricRegistry:
             "counters": dict(self._counters),
             "gauges": dict(self._gauges),
             "histograms": dict(self._histograms),
+            "sketches": dict(self._sketches),
         }
 
 
@@ -242,6 +278,14 @@ class Recorder:
         labels: Mapping[str, Any] | None = None,
     ) -> None:
         self.metrics.observe(name, value, labels)
+
+    def observe_quantile(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.metrics.observe_quantile(name, value, labels)
 
     def merge(self, other: "Recorder") -> None:
         """Append ``other``'s events (renumbered) and fold its metrics.
@@ -366,6 +410,15 @@ def observe(
     recorder = _ACTIVE.get()
     if recorder is not None:
         recorder.observe(name, value, labels)
+
+
+def observe_quantile(
+    name: str, value: float, labels: Mapping[str, Any] | None = None
+) -> None:
+    """Fast-path sketch observation: no-op unless a recorder is ambient."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.observe_quantile(name, value, labels)
 
 
 class RecorderHandler(logging.Handler):

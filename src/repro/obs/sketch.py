@@ -1,0 +1,252 @@
+"""Streaming quantile sketches and sliding-window counters.
+
+Two small, deterministic, mergeable primitives back the live-telemetry
+layer (DESIGN.md §11):
+
+- :class:`QuantileSketch` — a fixed-bucket HDR-style histogram with
+  log-spaced bucket bounds. Values are binned by order of magnitude at
+  ``buckets_per_decade`` resolution, which bounds the *relative value
+  error* of any quantile estimate by ``gamma - 1`` where
+  ``gamma = 10 ** (1 / buckets_per_decade)`` (~3.7% at the default 64
+  buckets/decade). Counts live in a sparse ``dict[int, int]``, so memory
+  is proportional to the number of *occupied* buckets, not the value
+  range. Merging adds sparse counts bucket-wise — serial observation and
+  merged-shard observation of the same multiset serialize byte-identically
+  (the ``map_recorded`` ordered-reduce contract).
+- :class:`WindowedCounter` — a ring of ``bucket_count`` time buckets
+  spanning ``window`` time units, for rates over a sliding window
+  ("requests in the last 60 s"). The clock is whatever the caller feeds
+  ``add`` / ``total`` — the serve loop keys it on *virtual* request
+  arrival time, so window contents are deterministic for a seeded run.
+
+Neither primitive reads the wall clock; determinism is entirely the
+caller's choice of observed values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = ["QuantileSketch", "WindowedCounter"]
+
+#: Default sketch range: 100 ns .. 1000 s expressed in seconds — wide
+#: enough for latencies, iteration counts, and duality gaps alike.
+DEFAULT_LO = 1e-7
+DEFAULT_HI = 1e3
+DEFAULT_BUCKETS_PER_DECADE = 64
+
+
+class QuantileSketch:
+    """Mergeable log-bucketed quantile sketch with exact count/sum/min/max.
+
+    Bucket ``i`` covers ``(lo * g**i, lo * g**(i+1)]`` with
+    ``g = 10 ** (1 / buckets_per_decade)``; estimates return the bucket's
+    upper edge, giving a one-sided guarantee for in-range values::
+
+        exact <= estimate <= exact * g
+
+    Values below ``lo`` (including zero and negatives) clamp into the
+    first bucket; values above ``hi`` clamp into the last. NaN is
+    skipped; ±inf clamp like out-of-range values. ``min``/``max``/``sum``
+    are exact over the *observed* (unclamped) finite values.
+    """
+
+    __slots__ = ("lo", "hi", "buckets_per_decade", "_nbuckets", "_scale",
+                 "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        lo: float = DEFAULT_LO,
+        hi: float = DEFAULT_HI,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ) -> None:
+        if not (0 < lo < hi) or not math.isfinite(lo) or not math.isfinite(hi):
+            raise ValueError(f"need 0 < lo < hi finite, got lo={lo} hi={hi}")
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_decade = int(buckets_per_decade)
+        self._scale = self.buckets_per_decade / math.log(10.0)
+        self._nbuckets = (
+            int(math.ceil(math.log10(self.hi / self.lo) * buckets_per_decade))
+            or 1
+        )
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def relative_error(self) -> float:
+        """Documented worst-case relative value error: ``g - 1``."""
+        return 10.0 ** (1.0 / self.buckets_per_decade) - 1.0
+
+    def _index(self, value: float) -> int:
+        if value <= self.lo:
+            return 0
+        if value >= self.hi:
+            return self._nbuckets - 1
+        # ceil(log_g(value/lo)) - 1: bucket i covers (lo*g^i, lo*g^(i+1)]
+        idx = int(math.ceil(math.log(value / self.lo) * self._scale)) - 1
+        if idx < 0:
+            return 0
+        if idx >= self._nbuckets:
+            return self._nbuckets - 1
+        return idx
+
+    def _edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (clamped to ``hi``)."""
+        edge = self.lo * 10.0 ** ((index + 1) / self.buckets_per_decade)
+        return min(edge, self.hi)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        if math.isfinite(value):
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        idx = self._index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+
+    def quantile(self, q: float) -> float | None:
+        """Rank-based quantile estimate (upper bucket edge at rank
+        ``ceil(q * count)`` — matches ``numpy.quantile`` with
+        ``method="inverted_cdf"`` up to the bucket width)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for idx in sorted(self.counts):
+            seen += self.counts[idx]
+            if seen >= rank:
+                # Tighten with the exact extrema: the true value can never
+                # lie outside [min, max].
+                est = self._edge(idx)
+                if est > self.max:
+                    est = self.max
+                if est < self.min:
+                    est = self.min
+                return est
+        return self.max  # pragma: no cover - unreachable (counts sum == count)
+
+    def _config(self) -> tuple[float, float, int]:
+        return (self.lo, self.hi, self.buckets_per_decade)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        if other._config() != self._config():
+            raise ValueError(
+                "cannot merge sketches with different configurations: "
+                f"{self._config()} vs {other._config()}"
+            )
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": {str(i): self.counts[i] for i in sorted(self.counts)},
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QuantileSketch":
+        sketch = cls(
+            lo=payload["lo"],
+            hi=payload["hi"],
+            buckets_per_decade=payload["buckets_per_decade"],
+        )
+        sketch.counts = {int(k): int(v) for k, v in payload["counts"].items()}
+        sketch.count = int(payload["count"])
+        sketch.total = float(payload["sum"])
+        if payload.get("min") is not None:
+            sketch.min = float(payload["min"])
+        if payload.get("max") is not None:
+            sketch.max = float(payload["max"])
+        return sketch
+
+    def summary(self, quantiles: Iterable[float] = (0.5, 0.95, 0.99)) -> dict:
+        """Quantile estimates plus exact aggregates, for /slo payloads."""
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": (self.total / self.count) if self.count else None,
+        }
+        for q in quantiles:
+            out[f"p{round(q * 100):02d}"] = self.quantile(q)
+        return out
+
+
+class WindowedCounter:
+    """Sliding-window counter: a ring of ``bucket_count`` buckets covering
+    ``window`` time units.
+
+    ``add(t, v)`` credits ``v`` to the bucket containing time ``t``;
+    ``total(now)`` sums the buckets still inside ``(now - window, now]``.
+    Time moves forward: adding at an older bucket epoch than already seen
+    is credited to the current bucket (out-of-order slack is bounded by
+    one bucket width). The caller supplies the clock — virtual time for
+    deterministic serve accounting, wall time for purely-live gauges.
+    """
+
+    __slots__ = ("window", "bucket_count", "_width", "_epochs", "_values")
+
+    def __init__(self, window: float, bucket_count: int = 12) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if bucket_count < 1:
+            raise ValueError(f"bucket_count must be >= 1, got {bucket_count}")
+        self.window = float(window)
+        self.bucket_count = int(bucket_count)
+        self._width = self.window / self.bucket_count
+        self._epochs = [-1] * self.bucket_count
+        self._values = [0.0] * self.bucket_count
+
+    def _epoch(self, t: float) -> int:
+        return int(math.floor(t / self._width))
+
+    def add(self, t: float, value: float = 1.0) -> None:
+        epoch = self._epoch(t)
+        slot = epoch % self.bucket_count
+        if self._epochs[slot] != epoch:
+            if self._epochs[slot] > epoch:
+                return  # stale out-of-order add beyond ring capacity
+            self._epochs[slot] = epoch
+            self._values[slot] = 0.0
+        self._values[slot] += float(value)
+
+    def total(self, now: float) -> float:
+        """Sum of values inside the window ending at ``now``."""
+        newest = self._epoch(now)
+        oldest = newest - self.bucket_count + 1
+        return sum(
+            v
+            for e, v in zip(self._epochs, self._values)
+            if oldest <= e <= newest
+        )
+
+    def rate(self, now: float) -> float:
+        """``total(now)`` per time unit over the window span."""
+        return self.total(now) / self.window

@@ -14,6 +14,10 @@ two such records, separates *configuration* (what was measured) from
   (everything except ``wall_time``), listing the entries that drifted.
 - **counters** — the ``solve_counters`` snapshot (memo hit/miss and
   warm-resume counts recorded by the headline bench), side by side.
+- **slo** — the serve bench's live-SLO block (decision-latency
+  quantiles, shed/swap-drop ratios, alert counts), side by side.
+  Informational only: latency quantiles are wall-clock measurements, so
+  they are never gated.
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ _RESULT_FIELDS = frozenset(
         "replay",
         "deterministic",
         "strategies",
+        "slo",
     }
 )
 
@@ -106,6 +111,7 @@ class BenchComparison:
     counters: dict[str, tuple[float | None, float | None]] = field(
         default_factory=dict
     )
+    slo: dict[str, tuple[float | None, float | None]] = field(default_factory=dict)
 
     @property
     def comparable(self) -> bool:
@@ -130,6 +136,29 @@ def _sweep_metrics(record: dict) -> dict[str, float]:
                 if metric == "wall_time" or not isinstance(value, (int, float)):
                     continue
                 out[f"{point.get('value')}/{policy}/{metric}"] = float(value)
+    return out
+
+
+def _slo_metrics(record: dict) -> dict[str, float]:
+    """Flatten a record's serve-SLO block to ``field -> number``.
+
+    Handles the shape :meth:`repro.serve.ServeReport.to_dict` emits:
+    scalar quantiles/ratios/alert counts at the top, a per-SBS
+    utilization list underneath.
+    """
+    out: dict[str, float] = {}
+    slo = record.get("slo")
+    if not isinstance(slo, dict):
+        return out
+    for key, value in slo.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = float(value)
+        elif key == "sbs_utilization" and isinstance(value, (list, tuple)):
+            for n, item in enumerate(value):
+                if isinstance(item, (int, float)) and not isinstance(item, bool):
+                    out[f"sbs_utilization/{n}"] = float(item)
     return out
 
 
@@ -162,6 +191,12 @@ def diff_bench(old: dict, new: dict, *, threshold: float = 0.10) -> BenchCompari
     for key in {**old_counters, **new_counters}:
         counters[key] = (old_counters.get(key), new_counters.get(key))
 
+    slo: dict[str, tuple[float | None, float | None]] = {}
+    old_slo = _slo_metrics(old)
+    new_slo = _slo_metrics(new)
+    for key in {**old_slo, **new_slo}:
+        slo[key] = (old_slo.get(key), new_slo.get(key))
+
     return BenchComparison(
         old_digest=config_digest(old),
         new_digest=config_digest(new),
@@ -170,6 +205,7 @@ def diff_bench(old: dict, new: dict, *, threshold: float = 0.10) -> BenchCompari
         regressions=tuple(sorted(regressions)),
         cost_drift=cost_drift,
         counters=counters,
+        slo=slo,
     )
 
 
@@ -198,6 +234,11 @@ def render_bench_diff(cmp: BenchComparison) -> str:
     if cmp.counters:
         lines.append("solve counters:")
         for key, (o, n) in sorted(cmp.counters.items()):
+            fmt = lambda v: "-" if v is None else f"{v:g}"  # noqa: E731
+            lines.append(f"  {key:<24} {fmt(o):>10} -> {fmt(n):>10}")
+    if cmp.slo:
+        lines.append("serve SLO (informational, never gated):")
+        for key, (o, n) in sorted(cmp.slo.items()):
             fmt = lambda v: "-" if v is None else f"{v:g}"  # noqa: E731
             lines.append(f"  {key:<24} {fmt(o):>10} -> {fmt(n):>10}")
     if cmp.gate_failed:

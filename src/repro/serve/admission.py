@@ -66,6 +66,10 @@ class AdmissionQueue:
         self.stats.max_depth = max(self.stats.max_depth, self._queue.qsize())
         return True
 
+    def qsize(self) -> int:
+        """Current queue occupancy — the live queue-depth gauge feed."""
+        return self._queue.qsize()
+
     async def close(self) -> None:
         """Signal end-of-stream; always queued (never shed)."""
         await self._queue.put(_CLOSED)

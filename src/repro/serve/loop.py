@@ -36,6 +36,7 @@ import asyncio
 import heapq
 import math
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
@@ -44,7 +45,9 @@ import numpy as np
 
 from repro.config import (
     RuntimeConfig,
+    resolved_obs_slo,
     resolved_serve_admission,
+    resolved_serve_metrics_port,
     resolved_serve_queue_depth,
     resolved_serve_rps,
     resolved_serve_slot_seconds,
@@ -58,14 +61,23 @@ from repro.core.online.base import (
 from repro.exceptions import ConfigurationError
 from repro.faults.degrade import realize_slot, scenario_states
 from repro.network.costs import CostBreakdown
+from repro.obs.live import (
+    MetricsServer,
+    ServeTelemetry,
+    SloTracker,
+    parse_slo_specs,
+)
 from repro.obs.recorder import (
     Recorder,
     current_recorder,
     emit,
     inc,
     observe,
+    observe_quantile,
     record_into,
+    set_gauge,
 )
+from repro.obs.sketch import WindowedCounter
 from repro.scenario import Scenario
 from repro.serve.admission import AdmissionQueue
 from repro.serve.replay import (
@@ -78,6 +90,7 @@ from repro.serve.routing import (
     RouteContext,
     RoutingStrategy,
     ServerView,
+    observe_server_gauges,
     strategy_by_name,
 )
 from repro.types import FloatArray
@@ -122,6 +135,7 @@ class PlanManager:
         self.settings = settings if settings is not None else OnlineSolveSettings()
         self.solve_fn = solve_fn
         self.plans: dict[int, CommittedPlan] = {}
+        self.timings: dict[int, dict[str, float]] = {}
         self.latest = -1
         self.solves = 0
         self._waiters: dict[int, asyncio.Event] = {}
@@ -228,6 +242,11 @@ class PlanManager:
             )
             if ambient is not None:
                 ambient.merge(recorder)
+            # Stage timers of the solve that produced this plan; attached
+            # to the plan_swap event when the consumer installs it.
+            self.timings[tau] = {
+                str(k): float(v) for k, v in result.timings.items()
+            }
             x_slot = result.x[0]
             y_slot = result.y[0]
             if faulted:
@@ -279,9 +298,12 @@ class ServeReport:
     wall_seconds: float
     decision_mean_seconds: float
     decision_p50_seconds: float
+    decision_p95_seconds: float
     decision_p99_seconds: float
     swap_wait_p99_seconds: float
     swap_wait_max_seconds: float
+    slo_alerts: int
+    sbs_utilization: tuple[float, ...]
     cost: CostBreakdown
     digest: str
     decisions: tuple[Decision, ...]
@@ -293,6 +315,16 @@ class ServeReport:
     @property
     def offload_ratio(self) -> float:
         return self.sbs_served / max(self.decided, 1)
+
+    @property
+    def shed_ratio(self) -> float:
+        """Fraction of offered requests dropped by admission control."""
+        return self.shed / max(self.requests_total, 1)
+
+    @property
+    def swap_drop_ratio(self) -> float:
+        """Fraction of plan swaps served from a stale (dropped) plan."""
+        return self.plan_swaps_dropped / max(self.plan_swaps, 1)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able summary (without the per-request decision log)."""
@@ -321,9 +353,19 @@ class ServeReport:
             "wall_seconds": self.wall_seconds,
             "decision_mean_seconds": self.decision_mean_seconds,
             "decision_p50_seconds": self.decision_p50_seconds,
+            "decision_p95_seconds": self.decision_p95_seconds,
             "decision_p99_seconds": self.decision_p99_seconds,
             "swap_wait_p99_seconds": self.swap_wait_p99_seconds,
             "swap_wait_max_seconds": self.swap_wait_max_seconds,
+            "slo": {
+                "decision_p50_us": self.decision_p50_seconds * 1e6,
+                "decision_p95_us": self.decision_p95_seconds * 1e6,
+                "decision_p99_us": self.decision_p99_seconds * 1e6,
+                "shed_ratio": self.shed_ratio,
+                "swap_drop_ratio": self.swap_drop_ratio,
+                "alerts": self.slo_alerts,
+                "sbs_utilization": list(self.sbs_utilization),
+            },
             "cost": {
                 "bs_cost": self.cost.bs_cost,
                 "sbs_cost": self.cost.sbs_cost,
@@ -356,6 +398,8 @@ async def serve_requests(
     pace: bool = False,
     config: RuntimeConfig | None = None,
     solve_fn: SolveFn | None = None,
+    metrics_port: int | None = None,
+    slo: str | None = None,
 ) -> ServeReport:
     """Serve a request stream against the scenario's live re-solve chain.
 
@@ -364,6 +408,13 @@ async def serve_requests(
     loop can drain, which is how the determinism tests run. ``solve_fn``
     substitutes the background solver (tests inject slow or trivial
     solvers to probe the plan-swap and admission machinery).
+
+    ``metrics_port`` enables the live HTTP exporter (``0`` = ephemeral
+    port) and ``slo`` declares burn-rate objectives
+    (:func:`repro.obs.live.parse_slo_specs`); both default off and fall
+    back to ``RuntimeConfig`` / environment. Live telemetry never touches
+    decision state: the decision log of a seeded run is byte-identical
+    with it on or off.
     """
     stream = tuple(requests)
     strat = strategy_by_name(strategy) if isinstance(strategy, str) else strategy
@@ -371,6 +422,8 @@ async def serve_requests(
     admission_mode = resolved_serve_admission(config, admission)
     depth = resolved_serve_queue_depth(config, queue_depth)
     slot_s = resolved_serve_slot_seconds(config, slot_seconds)
+    port = resolved_serve_metrics_port(config, metrics_port)
+    slo_specs = parse_slo_specs(resolved_obs_slo(config, slo))
 
     net = scenario.network
     horizon = scenario.horizon
@@ -424,6 +477,37 @@ async def serve_requests(
         "dropped": 0,
     }
     slot_stats = {"requests": 0, "hits": 0}
+
+    # --- live telemetry (explicitly outside the determinism contract:
+    # wall-clock values, on-demand HTTP reads — but never decision state;
+    # same-seed decision logs are byte-identical with it on or off).
+    ambient = current_recorder()
+    private_recorder: Recorder | None = None
+    telemetry: ServeTelemetry | None = None
+    if port is not None or slo_specs:
+        if ambient is None:
+            # No caller recorder: give the live surfaces their own, so
+            # /metrics and SLO tracking work in untraced deployments.
+            private_recorder = Recorder()
+        tracker = (
+            SloTracker(
+                slo_specs,
+                short_window=4 * slot_s,
+                long_window=40 * slot_s,
+            )
+            if slo_specs
+            else None
+        )
+        # Explicit None check: an empty Recorder is falsy (__len__ == 0).
+        telemetry = ServeTelemetry(
+            ambient if ambient is not None else private_recorder, tracker
+        )
+    live = telemetry is not None or ambient is not None
+    # Sliding-window offered/shed rates keyed on *virtual* arrival time
+    # (deterministic window contents for a seeded run).
+    req_window = WindowedCounter(4 * slot_s) if live else None
+    shed_window = WindowedCounter(4 * slot_s) if live else None
+
     start_wall = time.perf_counter()
 
     async def produce() -> None:
@@ -448,6 +532,11 @@ async def serve_requests(
                 )
                 emit("request_shed", slot=req.slot, request_seq=req.seq)
                 inc("serve_shed")
+                if req_window is not None and shed_window is not None:
+                    req_window.add(req.arrival)
+                    shed_window.add(req.arrival)
+                if telemetry is not None:
+                    telemetry.request(req.arrival, shed=True)
         await queue.close()
 
     def flush_slot(slot: int) -> None:
@@ -550,6 +639,7 @@ async def serve_requests(
                     waited = time.perf_counter() - wait0
                     swap_waits.append(waited)
                     observe("serve_swap_wait_seconds", waited)
+                    observe_quantile("serve_swap_wait_seconds", waited)
                     if not ready:
                         counters["late"] += 1
                         inc("serve_plan_swaps_late")
@@ -566,38 +656,113 @@ async def serve_requests(
                 if plan is not current:
                     counters["swaps"] += 1
                     inc("serve_plan_swaps")
-                    emit(
-                        "plan_swap",
-                        slot=target,
-                        plan_slot=plan.slot,
-                        strategy=strat.name,
-                    )
+                    swap_fields: dict[str, Any] = {
+                        "plan_slot": plan.slot,
+                        "strategy": strat.name,
+                        "lag": target - plan.slot,
+                    }
+                    # Stage timers of the solve that produced this plan
+                    # (absent under an injected solve_fn).
+                    for stage, seconds in sorted(
+                        planner.timings.get(plan.slot, {}).items()
+                    ):
+                        swap_fields[f"solve_{stage}_seconds"] = seconds
+                    emit("plan_swap", slot=target, **swap_fields)
                 current = plan
                 slot_cursor = target
+                if live:
+                    now_v = target * slot_s
+                    set_gauge("serve_queue_depth", queue.qsize())
+                    set_gauge("serve_plan_lag", target - plan.slot)
+                    observe_server_gauges(sbs_views, bs_view)
+                    if req_window is not None and shed_window is not None:
+                        set_gauge(
+                            "serve_offered_rate_window",
+                            req_window.rate(now_v),
+                        )
+                        set_gauge(
+                            "serve_shed_rate_window", shed_window.rate(now_v)
+                        )
+                    if telemetry is not None:
+                        telemetry.swap(now_v, dropped=plan.slot < target)
+                        for alert in telemetry.evaluate(now_v):
+                            emit(
+                                "slo_alert",
+                                slot=target,
+                                slo=alert["name"],
+                                threshold=alert["threshold"],
+                                burn_short=alert["burn_short"],
+                                burn_long=alert["burn_long"],
+                                fault_active=fault_active,
+                            )
+                        telemetry.publish(
+                            slot=target,
+                            now=now_v,
+                            queue_depth=queue.qsize(),
+                            plan_lag=target - plan.slot,
+                            sbs_utilization={
+                                n: view.utilization
+                                for n, view in enumerate(sbs_views)
+                            },
+                        )
             assert current is not None
             t0 = time.perf_counter()
             decide(req, current)
             elapsed = time.perf_counter() - t0
             decision_seconds.append(elapsed)
             observe("serve_decision_seconds", elapsed)
+            observe_quantile("serve_decision_seconds", elapsed)
             inc("serve_requests")
+            if req_window is not None:
+                req_window.add(req.arrival)
+            if telemetry is not None:
+                telemetry.decision(req.arrival, elapsed)
+                telemetry.request(req.arrival, shed=False)
         flush_slot(slot_cursor)
 
     if stream:
-        plan_task = asyncio.ensure_future(planner.run(plan_horizon))
-        prod_task = asyncio.ensure_future(produce())
-        cons_task = asyncio.ensure_future(consume())
-        try:
-            await asyncio.gather(prod_task, cons_task)
-        except BaseException:
-            for task in (prod_task, cons_task, plan_task):
-                task.cancel()
-            await asyncio.gather(
-                prod_task, cons_task, plan_task, return_exceptions=True
-            )
-            raise
-        wall = time.perf_counter() - start_wall
-        await plan_task
+        server: MetricsServer | None = None
+        scope = (
+            record_into(private_recorder)
+            if private_recorder is not None
+            else nullcontext()
+        )
+        with scope:
+            if telemetry is not None:
+                telemetry.publish(slot=None, now=0.0)
+                if port is not None:
+                    server = MetricsServer(telemetry.snapshot, port=port)
+                    server.start()
+            try:
+                plan_task = asyncio.ensure_future(planner.run(plan_horizon))
+                prod_task = asyncio.ensure_future(produce())
+                cons_task = asyncio.ensure_future(consume())
+                try:
+                    await asyncio.gather(prod_task, cons_task)
+                except BaseException:
+                    for task in (prod_task, cons_task, plan_task):
+                        task.cancel()
+                    await asyncio.gather(
+                        prod_task, cons_task, plan_task, return_exceptions=True
+                    )
+                    raise
+                wall = time.perf_counter() - start_wall
+                await plan_task
+                if telemetry is not None:
+                    # Final snapshot so late scrapes see the whole run.
+                    telemetry.publish(
+                        slot=plan_horizon - 1,
+                        now=stream[-1].arrival + slot_s,
+                        queue_depth=queue.qsize(),
+                        plan_lag=0,
+                        sbs_utilization={
+                            n: view.utilization
+                            for n, view in enumerate(sbs_views)
+                        },
+                    )
+            finally:
+                if server is not None:
+                    server.stop()
     else:
         wall = 0.0
 
@@ -626,6 +791,27 @@ async def serve_requests(
         offered = (len(stream) - 1) / span if span > 0 else 0.0
     else:
         offered = 0.0
+
+    # Per-SBS bandwidth utilization over the served horizon: requests
+    # actually answered by SBS n vs its aggregate capacity sum_t B_{n,t}
+    # over up-slots (the service model saturates at B requests/slot).
+    served_by_sbs = np.zeros(net.num_sbs)
+    if plan_horizon:
+        np.add.at(
+            served_by_sbs,
+            net.class_sbs,
+            sbs_count[:plan_horizon].sum(axis=0).astype(np.float64),
+        )
+        bw_capacity = (
+            states.bandwidths[:plan_horizon] * states.sbs_up[:plan_horizon]
+        ).sum(axis=0)
+    else:
+        bw_capacity = np.zeros(net.num_sbs)
+    sbs_utilization = tuple(
+        float(served_by_sbs[n] / bw_capacity[n]) if bw_capacity[n] > 0 else 0.0
+        for n in range(net.num_sbs)
+    )
+
     return ServeReport(
         strategy=strat.name,
         admission=admission_mode,
@@ -653,9 +839,12 @@ async def serve_requests(
             else 0.0
         ),
         decision_p50_seconds=_percentile(decision_seconds, 0.50),
+        decision_p95_seconds=_percentile(decision_seconds, 0.95),
         decision_p99_seconds=_percentile(decision_seconds, 0.99),
         swap_wait_p99_seconds=_percentile(swap_waits, 0.99),
         swap_wait_max_seconds=max(swap_waits, default=0.0),
+        slo_alerts=telemetry.alerts_total if telemetry is not None else 0,
+        sbs_utilization=sbs_utilization,
         cost=totals,
         digest=decision_digest(decisions),
         decisions=tuple(sorted(decisions, key=lambda d: d.seq)),
@@ -678,6 +867,8 @@ def run_serve(
     config: RuntimeConfig | None = None,
     requests: Iterable[Request] | None = None,
     solve_fn: SolveFn | None = None,
+    metrics_port: int | None = None,
+    slo: str | None = None,
 ) -> ServeReport:
     """Synchronous facade: build the stream (unless given) and serve it.
 
@@ -708,6 +899,8 @@ def run_serve(
             pace=pace,
             config=config,
             solve_fn=solve_fn,
+            metrics_port=metrics_port,
+            slo=slo,
         )
     )
 
@@ -728,9 +921,14 @@ def render_serve_report(report: ServeReport) -> str:
         f"({report.plan_swaps_late} late, {report.plan_swaps_dropped} dropped), "
         f"{report.solves} solves over {report.slots_served} slots",
         f"  latency    decision p50 {report.decision_p50_seconds * 1e6:.0f}us "
+        f"p95 {report.decision_p95_seconds * 1e6:.0f}us "
         f"p99 {report.decision_p99_seconds * 1e6:.0f}us; "
         f"swap wait p99 {report.swap_wait_p99_seconds * 1e3:.1f}ms "
         f"max {report.swap_wait_max_seconds * 1e3:.1f}ms",
+        f"  slo        shed {report.shed_ratio:.2%}, "
+        f"swap drops {report.swap_drop_ratio:.2%}, "
+        f"{report.slo_alerts} alerts; sbs util "
+        + "/".join(f"{u:.0%}" for u in report.sbs_utilization),
         f"  cost       total {report.cost.total:.2f} "
         f"(bs {report.cost.bs_cost:.2f}, sbs {report.cost.sbs_cost:.2f}, "
         f"repl {report.cost.replacement:.2f})",

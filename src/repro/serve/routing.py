@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.obs.recorder import set_gauge
 
 
 @dataclass
@@ -51,6 +52,31 @@ class ServerView:
     @property
     def is_bs(self) -> bool:
         return self.sid == "bs"
+
+    @property
+    def utilization(self) -> float:
+        """Connection occupancy vs the concurrency cap (0 when uncapped
+        or the cap is 0 — a down SBS carries no utilizable bandwidth)."""
+        if not math.isfinite(self.capacity) or self.capacity <= 0:
+            return 0.0
+        return self.connections / self.capacity
+
+
+def observe_server_gauges(
+    sbs_views: Sequence[ServerView], bs_view: ServerView
+) -> None:
+    """Publish per-server connection/utilization gauges.
+
+    Called by the serve loop at slot boundaries (never per request): one
+    labeled gauge pair per SBS — open connections and occupancy vs the
+    slot's concurrency cap (the paper's per-SBS bandwidth ``B_n``) — plus
+    the BS connection count. All through the ambient-recorder fast path,
+    so this is a no-op in untelemetered runs.
+    """
+    for n, view in enumerate(sbs_views):
+        set_gauge("serve_sbs_connections", view.connections, {"sbs": n})
+        set_gauge("serve_sbs_utilization", view.utilization, {"sbs": n})
+    set_gauge("serve_bs_connections", bs_view.connections)
 
 
 @dataclass(frozen=True)

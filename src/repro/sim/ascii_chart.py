@@ -33,34 +33,41 @@ def render_series_chart(
 ) -> str:
     """Render named y-series over shared x-values as an ASCII grid chart.
 
-    NaN points are skipped (useful for trace series where a policy has no
-    sample at some slot).
+    Non-finite points (NaN, ±inf) are skipped — trace series routinely
+    carry them (a policy with no sample at some slot, an unconverged
+    solve's infinite gap). A chart with no series, no x values, or no
+    finite point at all degrades to a one-line placeholder instead of
+    raising: live dashboards must render *something* on their first,
+    still-empty frame. Bad geometry stays an error.
     """
     if width < 16 or height < 4:
         raise ConfigurationError("chart needs width >= 16 and height >= 4")
     if not series:
-        raise ConfigurationError("chart needs at least one series")
+        return f"{title}\n  (no series to plot)"
     values = np.asarray(list(x_values), dtype=np.float64)
     if values.size == 0:
-        raise ConfigurationError("chart needs at least one x value")
+        return f"{title}\n  (no x values to plot)"
+    finite_x = values[np.isfinite(values)]
     all_y = [
         float(y)
         for ys in series.values()
         for y in ys
-        if not math.isnan(float(y))
+        if math.isfinite(float(y))
     ]
-    if not all_y:
-        raise ConfigurationError("chart series contain no finite points")
+    if not all_y or finite_x.size == 0:
+        return f"{title}\n  (no finite points to plot)"
     lo = min(all_y)
     hi = max(all_y)
     if hi - lo < 1e-12:
         hi = lo + 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    x_span = float(values.max() - values.min()) or 1.0
+    x_min = float(finite_x.min())
+    x_max = float(finite_x.max())
+    x_span = (x_max - x_min) or 1.0
 
     def col(v: float) -> int:
-        return int(round((v - values.min()) / x_span * (width - 1)))
+        return int(round((v - x_min) / x_span * (width - 1)))
 
     def row(y: float) -> int:
         frac = (y - lo) / (hi - lo)
@@ -70,9 +77,10 @@ def render_series_chart(
         marker = _MARKERS[idx % len(_MARKERS)]
         for v, y in zip(values, ys):
             y = float(y)
-            if math.isnan(y):
+            v = float(v)
+            if not math.isfinite(y) or not math.isfinite(v):
                 continue
-            grid[row(y)][col(float(v))] = marker
+            grid[row(y)][col(v)] = marker
 
     lines = [title]
     lines.append(f"{hi:>12.1f} ┤" + "".join(grid[0]))
@@ -82,7 +90,7 @@ def render_series_chart(
     axis = " " * 12 + " └" + "─" * width
     lines.append(axis)
     lines.append(
-        " " * 14 + f"{values.min():<10g}{'':^{max(width - 20, 0)}}{values.max():>10g}"
+        " " * 14 + f"{x_min:<10g}{'':^{max(width - 20, 0)}}{x_max:>10g}"
     )
     legend = "   ".join(
         f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)

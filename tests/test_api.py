@@ -30,10 +30,12 @@ PUBLIC_API = [
     "Decision",
     "DemandMatrix",
     "DemandSurge",
+    "Diagnosis",
     "DistributedOfflineOptimal",
     "EdgeMetrics",
     "FIFO",
     "FaultSchedule",
+    "Finding",
     "HealthScoreStrategy",
     "JointProblem",
     "LFU",
@@ -42,6 +44,7 @@ PUBLIC_API = [
     "LeastConnectionsStrategy",
     "LinearOperatingCost",
     "MUClass",
+    "MetricsServer",
     "Network",
     "NoCache",
     "OfflineOptimal",
@@ -54,6 +57,7 @@ PUBLIC_API = [
     "PredictorBlackout",
     "PrimalDualResult",
     "QuadraticOperatingCost",
+    "QuantileSketch",
     "RHC",
     "Recorder",
     "ReplayReport",
@@ -67,6 +71,8 @@ PUBLIC_API = [
     "SbsOutage",
     "Scenario",
     "ServeReport",
+    "SloSpec",
+    "SloTracker",
     "SmallBaseStation",
     "SolveBudget",
     "SolveCache",
@@ -74,6 +80,8 @@ PUBLIC_API = [
     "StaticTopK",
     "SweepResult",
     "TraceEvent",
+    "WindowedCounter",
+    "analyze_trace",
     "assert_feasible_under_faults",
     "bandwidth_sweep",
     "beta_sweep",
@@ -94,13 +102,16 @@ PUBLIC_API = [
     "open_loop_requests",
     "paper_demand",
     "paper_scenario",
+    "parse_slo_specs",
     "read_decision_log",
     "read_trace",
     "record_into",
+    "render_diagnosis",
     "render_headline_table",
     "render_resilience_table",
     "render_serve_report",
     "render_sweep_table",
+    "render_top_frame",
     "render_trace_dashboard",
     "replay_plan",
     "replay_trace",

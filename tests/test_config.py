@@ -14,7 +14,9 @@ from repro.config import (
     DEFAULT_SERVE_SLOT_SECONDS,
     EXECUTOR_ENV,
     FLOW_REUSE_ENV,
+    OBS_SLO_ENV,
     SERVE_ADMISSION_ENV,
+    SERVE_METRICS_PORT_ENV,
     SERVE_QUEUE_DEPTH_ENV,
     SERVE_RPS_ENV,
     SERVE_SLOT_SECONDS_ENV,
@@ -24,7 +26,9 @@ from repro.config import (
     reset_deprecation_warnings,
     resolved_backend_pin,
     resolved_flow_reuse,
+    resolved_obs_slo,
     resolved_serve_admission,
+    resolved_serve_metrics_port,
     resolved_serve_queue_depth,
     resolved_serve_rps,
     resolved_serve_slot_seconds,
@@ -45,6 +49,8 @@ def _clean_env(monkeypatch):
         SERVE_ADMISSION_ENV,
         SERVE_QUEUE_DEPTH_ENV,
         SERVE_SLOT_SECONDS_ENV,
+        SERVE_METRICS_PORT_ENV,
+        OBS_SLO_ENV,
     ):
         monkeypatch.delenv(name, raising=False)
     reset_deprecation_warnings()
@@ -208,6 +214,49 @@ class TestServeKnobs:
         monkeypatch.setenv(SERVE_QUEUE_DEPTH_ENV, "3.5")
         with pytest.raises(ConfigurationError):
             resolved_serve_queue_depth(None)
+
+
+class TestTelemetrySettings:
+    """arg > config > env > default for the live-telemetry knobs."""
+
+    def test_defaults_off(self):
+        assert resolved_serve_metrics_port(None) is None
+        assert resolved_obs_slo(None) is None
+
+    def test_metrics_port_precedence(self, monkeypatch):
+        monkeypatch.setenv(SERVE_METRICS_PORT_ENV, "9100")
+        assert resolved_serve_metrics_port(None) == 9100
+        config = RuntimeConfig(serve_metrics_port=9200)
+        assert resolved_serve_metrics_port(config) == 9200
+        assert resolved_serve_metrics_port(config, arg=0) == 0
+
+    def test_slo_precedence(self, monkeypatch):
+        monkeypatch.setenv(OBS_SLO_ENV, "shed_ratio<0.5")
+        assert resolved_obs_slo(None) == "shed_ratio<0.5"
+        config = RuntimeConfig(obs_slo="p99_decision_us<200")
+        assert resolved_obs_slo(config) == "p99_decision_us<200"
+        assert resolved_obs_slo(config, arg="p50_decision_us<50") == (
+            "p50_decision_us<50"
+        )
+
+    def test_empty_slo_env_means_disabled(self, monkeypatch):
+        monkeypatch.setenv(OBS_SLO_ENV, "")
+        assert resolved_obs_slo(None) is None
+
+    def test_config_validates_telemetry_fields(self):
+        with pytest.raises(ConfigurationError, match="serve_metrics_port"):
+            RuntimeConfig(serve_metrics_port=-1)
+        with pytest.raises(ConfigurationError, match="serve_metrics_port"):
+            RuntimeConfig(serve_metrics_port=70000)
+        with pytest.raises(ConfigurationError, match="unknown SLO"):
+            RuntimeConfig(obs_slo="p42_decision_us<1")
+
+    def test_invalid_sources_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolved_serve_metrics_port(None, arg=65536)
+        monkeypatch.setenv(SERVE_METRICS_PORT_ENV, "not-a-port")
+        with pytest.raises(ConfigurationError):
+            resolved_serve_metrics_port(None)
 
 
 class TestWarnOnce:

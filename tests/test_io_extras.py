@@ -126,3 +126,56 @@ class TestAsciiChart:
     def test_size_validation(self):
         with pytest.raises(ConfigurationError):
             render_ascii_chart(self._sweep(), "total", width=5)
+
+
+class TestSeriesChartHardening:
+    """Degenerate live-telemetry inputs render placeholders, not tracebacks."""
+
+    def test_empty_series_dict_renders_placeholder(self):
+        from repro.sim.ascii_chart import render_series_chart
+
+        text = render_series_chart([0.0, 1.0], {}, title="t")
+        assert "no series" in text
+
+    def test_empty_x_axis_renders_placeholder(self):
+        from repro.sim.ascii_chart import render_series_chart
+
+        text = render_series_chart([], {"a": []}, title="t")
+        assert "no x values" in text
+
+    def test_all_non_finite_points_render_placeholder(self):
+        from repro.sim.ascii_chart import render_series_chart
+
+        nan, inf = float("nan"), float("inf")
+        text = render_series_chart([0.0, 1.0], {"a": [nan, inf]}, title="t")
+        assert "no finite points" in text
+
+    def test_mixed_non_finite_points_are_skipped(self):
+        from repro.sim.ascii_chart import render_series_chart
+
+        text = render_series_chart(
+            [0.0, 1.0, 2.0], {"a": [1.0, float("nan"), 3.0]}, title="t"
+        )
+        assert "3.0" in text and "1.0" in text
+
+    def test_geometry_still_validated(self):
+        from repro.sim.ascii_chart import render_series_chart
+
+        with pytest.raises(ConfigurationError):
+            render_series_chart([0.0], {"a": [1.0]}, title="t", width=5)
+
+    def test_dashboard_survives_non_finite_slot_costs(self):
+        from repro.obs import TraceEvent
+        from repro.obs.dashboard import render_trace_dashboard
+
+        events = [
+            TraceEvent.make(0, "slot_end", slot=0, policy="p", total=1.0),
+            TraceEvent.make(
+                1, "slot_end", slot=1, policy="p", total=float("inf")
+            ),
+            TraceEvent.make(
+                2, "slot_end", slot=2, policy="p", total=float("nan")
+            ),
+        ]
+        text = render_trace_dashboard(events)
+        assert "per-slot cost" in text

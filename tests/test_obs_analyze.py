@@ -1,0 +1,247 @@
+"""The ``repro obs analyze`` diagnoser: detectors, determinism, CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import TraceEvent, write_trace
+from repro.obs.analyze import analyze_trace, render_diagnosis
+
+
+def ev(seq, kind, slot=None, **fields):
+    return TraceEvent.make(seq, kind, slot=slot, **fields)
+
+
+class TestDetectors:
+    def test_empty_trace_is_clean(self):
+        diagnosis = analyze_trace([])
+        assert diagnosis.verdict == "clean"
+        assert diagnosis.findings == ()
+        assert diagnosis.stats["events"] == 0
+
+    def test_fault_window_pairs_edges(self):
+        diagnosis = analyze_trace(
+            [
+                ev(0, "fault_injected", slot=3),
+                ev(1, "fault_cleared", slot=7),
+            ]
+        )
+        (finding,) = diagnosis.findings
+        assert finding.kind == "fault_window"
+        assert finding.slots == (3, 6)  # cleared-at slot is healthy again
+        assert diagnosis.verdict == "clean"  # info only
+
+    def test_unclosed_fault_extends_to_last_slot(self):
+        diagnosis = analyze_trace(
+            [
+                ev(0, "fault_injected", slot=2),
+                ev(1, "slot_end", slot=9),
+            ]
+        )
+        (finding,) = diagnosis.findings
+        assert finding.slots == (2, 9)
+
+    def test_convergence_stall_needs_a_plateau(self):
+        stalled = [
+            ev(i, "solve_done", slot=i, gap=0.5 - 0.001 * i, converged=False)
+            for i in range(4)
+        ]
+        diagnosis = analyze_trace(stalled)
+        kinds = [f.kind for f in diagnosis.findings]
+        assert "convergence_stall" in kinds
+        assert diagnosis.verdict == "warn"
+
+        improving = [
+            ev(i, "solve_done", slot=i, gap=0.5 / (2**i), converged=False)
+            for i in range(4)
+        ]
+        assert analyze_trace(improving).verdict == "clean"
+
+    def test_patience_stopped_solves_are_not_stalls(self):
+        # The online ub-patience exit stops a window solve by design once
+        # the feasible incumbent stagnates; a gap plateau there is benign.
+        patient = [
+            ev(
+                i,
+                "solve_done",
+                slot=i,
+                gap=0.5,
+                converged=False,
+                stopped_by_patience=True,
+            )
+            for i in range(6)
+        ]
+        assert analyze_trace(patient).verdict == "clean"
+        # Interleaved patience stops also break a genuine-looking run.
+        mixed = []
+        for i in range(6):
+            mixed.append(
+                ev(
+                    2 * i,
+                    "solve_done",
+                    slot=2 * i,
+                    gap=0.5,
+                    converged=False,
+                )
+            )
+            mixed.append(
+                ev(
+                    2 * i + 1,
+                    "solve_done",
+                    slot=2 * i + 1,
+                    gap=0.5,
+                    converged=False,
+                    stopped_by_patience=True,
+                )
+            )
+        assert analyze_trace(mixed).verdict == "clean"
+
+    def test_solver_storm_severity_scales(self):
+        warn = [ev(i, "budget_exhausted", slot=i) for i in range(3)]
+        diagnosis = analyze_trace(warn)
+        (finding,) = diagnosis.findings
+        assert finding.kind == "solver_storm"
+        assert finding.severity == "warning"
+
+        critical = warn + [
+            ev(10 + i, "log", slot=3 + i, message="P1 fallback engaged")
+            for i in range(7)
+        ]
+        diagnosis = analyze_trace(critical)
+        (finding,) = diagnosis.findings
+        assert finding.severity == "critical"
+        assert diagnosis.verdict == "degraded"
+        assert finding.data["fallback_log"] == 7
+
+    def test_shed_burst_correlates_with_fault_window(self):
+        events = [
+            ev(0, "fault_injected", slot=4),
+            ev(1, "request_shed", slot=4, mu_class=0),
+            ev(2, "request_shed", slot=5, mu_class=0),
+            ev(3, "fault_cleared", slot=6),
+            ev(4, "request_shed", slot=9, mu_class=0),
+        ]
+        diagnosis = analyze_trace(events)
+        bursts = [f for f in diagnosis.findings if f.kind == "shed_burst"]
+        assert len(bursts) == 2
+        by_slots = {f.slots: f.data["fault_correlated"] for f in bursts}
+        assert by_slots == {(4, 5): True, (9, 9): False}
+
+    def test_swap_starvation_needs_consecutive_lag(self):
+        starved = [
+            ev(i, "plan_swap", slot=i, plan_slot=max(0, i - 1), strategy="s")
+            for i in range(1, 5)
+        ]
+        diagnosis = analyze_trace(starved)
+        kinds = [f.kind for f in diagnosis.findings]
+        assert "swap_starvation" in kinds
+
+        fresh = [
+            ev(i, "plan_swap", slot=i, plan_slot=i, strategy="s")
+            for i in range(1, 5)
+        ]
+        assert analyze_trace(fresh).verdict == "clean"
+
+    def test_slo_burn_groups_contiguous_alert_runs(self):
+        events = [
+            ev(0, "slo_alert", slot=2, slo="p99_decision_us"),
+            ev(1, "slo_alert", slot=3, slo="p99_decision_us"),
+            ev(2, "slo_alert", slot=7, slo="p99_decision_us"),
+            ev(3, "slo_alert", slot=3, slo="shed_ratio"),
+        ]
+        diagnosis = analyze_trace(events)
+        burns = [f for f in diagnosis.findings if f.kind == "slo_burn"]
+        spans = sorted((f.data["slo"], f.slots) for f in burns)
+        assert spans == [
+            ("p99_decision_us", (2, 3)),
+            ("p99_decision_us", (7, 7)),
+            ("shed_ratio", (3, 3)),
+        ]
+
+    def test_accepts_dict_events(self):
+        payload = ev(0, "request_shed", slot=1, mu_class=0).to_dict()
+        diagnosis = analyze_trace([payload])
+        assert diagnosis.findings[0].kind == "shed_burst"
+
+
+class TestDeterminism:
+    def _trace(self):
+        return [
+            ev(0, "fault_injected", slot=1),
+            ev(1, "request_shed", slot=1, mu_class=0),
+            ev(2, "request_shed", slot=2, mu_class=1),
+            ev(3, "fault_cleared", slot=3),
+            ev(4, "budget_exhausted", slot=3),
+            ev(5, "budget_exhausted", slot=4),
+            ev(6, "budget_exhausted", slot=5),
+            ev(7, "slo_alert", slot=5, slo="shed_ratio"),
+        ]
+
+    def test_two_runs_are_byte_identical(self):
+        first = analyze_trace(self._trace())
+        second = analyze_trace(self._trace())
+        assert first.to_json() == second.to_json()
+        assert render_diagnosis(first) == render_diagnosis(second)
+
+    def test_findings_sorted_severity_first(self):
+        diagnosis = analyze_trace(self._trace())
+        ranks = [f.severity for f in diagnosis.findings]
+        order = {"critical": 0, "warning": 1, "info": 2}
+        assert ranks == sorted(ranks, key=order.__getitem__)
+
+    def test_json_round_trips(self):
+        diagnosis = analyze_trace(self._trace())
+        payload = json.loads(diagnosis.to_json())
+        assert payload["verdict"] == diagnosis.verdict
+        assert len(payload["findings"]) == len(diagnosis.findings)
+
+
+class TestAnalyzeCli:
+    def _write(self, tmp_path, events):
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        recorder.events.extend(events)
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, recorder)
+        return str(path)
+
+    def test_clean_trace_passes_strict(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, [ev(0, "slot_end", slot=0, policy="serve", total=1.0)]
+        )
+        assert cli_main(["obs", "analyze", path, "--strict"]) == 0
+        assert "verdict: CLEAN" in capsys.readouterr().out
+
+    def test_warn_trace_fails_strict_but_not_default(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            [
+                ev(i, "request_shed", slot=i, mu_class=0)
+                for i in range(3)
+            ],
+        )
+        assert cli_main(["obs", "analyze", path]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["obs", "analyze", path, "--strict"])
+        assert excinfo.value.code == 1
+        capsys.readouterr()
+
+    def test_json_output_is_canonical(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, [ev(0, "slo_alert", slot=4, slo="shed_ratio")]
+        )
+        assert cli_main(["obs", "analyze", path, "--json"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()[0]
+        payload = json.loads(out)
+        assert payload["verdict"] == "warn"
+        assert payload["findings"][0]["kind"] == "slo_burn"
+
+    def test_missing_trace_argument_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["obs", "analyze"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

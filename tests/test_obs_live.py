@@ -1,0 +1,227 @@
+"""Live telemetry: SLO specs, burn-rate alerts, the HTTP exporter, and
+the contract that enabling any of it never changes a seeded decision log.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.exceptions import ConfigurationError
+from repro.obs import Recorder, record_into
+from repro.obs.live import (
+    MetricsServer,
+    ServeTelemetry,
+    SloTracker,
+    parse_slo_specs,
+    render_top_frame,
+)
+
+
+def tiny_scenario(horizon=5, seed=1):
+    return api.build_scenario(seed=seed, horizon=horizon)
+
+
+class TestSpecParsing:
+    def test_parses_latency_and_ratio_objectives(self):
+        specs = parse_slo_specs("p99_decision_us<200, shed_ratio<0.01")
+        assert [s.name for s in specs] == ["p99_decision_us", "shed_ratio"]
+        latency, shed = specs
+        assert latency.kind == "latency"
+        assert latency.threshold_seconds == pytest.approx(200e-6)
+        assert latency.budget == pytest.approx(0.01)
+        assert shed.kind == "shed"
+        assert shed.budget == pytest.approx(0.01)
+        assert latency.describe() == "p99_decision_us<200"
+
+    def test_empty_or_none_means_no_objectives(self):
+        assert parse_slo_specs(None) == ()
+        assert parse_slo_specs("  ") == ()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown SLO"):
+            parse_slo_specs("p42_decision_us<1")
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad SLO spec"):
+            parse_slo_specs("p99_decision_us=200")
+
+    def test_threshold_domains_enforced(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            parse_slo_specs("p99_decision_us<0")
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\)"):
+            parse_slo_specs("shed_ratio<1.5")
+
+
+class TestSloTracker:
+    def _tracker(self, spec="p99_decision_us<100"):
+        return SloTracker(
+            parse_slo_specs(spec), short_window=1.0, long_window=10.0
+        )
+
+    def test_alert_needs_both_windows_hot(self):
+        tracker = self._tracker()
+        # Sustained badness: every decision blows the 100us threshold.
+        for i in range(100):
+            tracker.observe_decision(i * 0.1, seconds=1.0)
+        assert [e["name"] for e in tracker.evaluate(9.9)] == ["p99_decision_us"]
+
+    def test_short_spike_does_not_alert_the_long_window(self):
+        tracker = self._tracker()
+        # Long window mostly healthy, one bad burst at the end: the long
+        # burn stays below threshold, so the multi-window rule holds fire.
+        for i in range(99):
+            tracker.observe_decision(i * 0.1, seconds=1e-6)
+            tracker.observe_decision(i * 0.1, seconds=1e-6)
+        tracker.observe_decision(9.9, seconds=1.0)
+        status = {e["name"]: e for e in tracker.status(9.9)}
+        entry = status["p99_decision_us"]
+        assert entry["burn_short"] >= 1.0
+        assert entry["burn_long"] < 1.0
+        assert not entry["alert"]
+
+    def test_ratio_objective_tracks_shed_fraction(self):
+        tracker = self._tracker("shed_ratio<0.1")
+        for i in range(50):
+            tracker.observe_request(i * 0.1, shed=(i % 2 == 0))
+        (entry,) = tracker.status(4.9)
+        assert entry["alert"]  # 50% shed vs a 10% budget
+
+    def test_no_observations_no_alert(self):
+        tracker = self._tracker()
+        assert tracker.evaluate(5.0) == []
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            SloTracker((), short_window=5.0, long_window=1.0)
+        with pytest.raises(ConfigurationError):
+            SloTracker((), burn_threshold=0.0)
+
+
+class TestMetricsServer:
+    def _fetch(self, url):
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_endpoints_serve_the_published_snapshot(self):
+        recorder = Recorder()
+        recorder.metrics.inc("serve_requests", 3)
+        recorder.metrics.observe_quantile("serve_decision_seconds", 1e-4)
+        telemetry = ServeTelemetry(recorder)
+        telemetry.publish(slot=2, now=1.0, queue_depth=1, plan_lag=0)
+        with MetricsServer(telemetry.snapshot, port=0) as server:
+            status, text = self._fetch(server.url + "/metrics")
+            assert status == 200
+            assert "serve_requests_total 3" in text
+            assert 'serve_decision_seconds{quantile="0.99"}' in text
+
+            status, text = self._fetch(server.url + "/healthz")
+            health = json.loads(text)
+            assert status == 200
+            assert health == {"alerts_total": 0, "slot": 2, "status": "ok"}
+
+            status, text = self._fetch(server.url + "/slo")
+            slo = json.loads(text)
+            assert slo["slot"] == 2
+            assert slo["queue_depth"] == 1
+            assert slo["decision_latency_seconds"]["count"] == 1
+            assert slo["decision_latency_seconds"]["p99"] is not None
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._fetch(server.url + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_ephemeral_port_binds_and_stops_cleanly(self):
+        server = MetricsServer(lambda: {}, port=0)
+        port = server.start()
+        assert 0 < port <= 65535
+        assert server.start() == port  # idempotent while running
+        server.stop()
+        server.stop()  # idempotent when stopped
+
+    def test_render_top_frame_handles_empty_and_full_history(self):
+        assert "waiting" in render_top_frame([])
+        telemetry = ServeTelemetry(Recorder())
+        telemetry.publish(slot=0, now=0.0, sbs_utilization={0: 0.6})
+        frame = render_top_frame([telemetry.snapshot()["slo"]] * 3)
+        assert "decision p99" in frame
+        assert "sbs0" in frame
+
+
+class TestServeIntegration:
+    def _run(self, **kwargs):
+        return api.run_serve(
+            tiny_scenario(),
+            rps=120.0,
+            slot_seconds=0.05,
+            seed=3,
+            window=3,
+            max_requests=60,
+            **kwargs,
+        )
+
+    def test_telemetry_never_changes_the_decision_log(self):
+        plain = self._run()
+        live = self._run(metrics_port=0, slo="p99_decision_us<200")
+        assert plain.digest == live.digest
+
+    def test_telemetry_with_ambient_recorder_keeps_digest(self):
+        recorder = Recorder()
+        with record_into(recorder):
+            traced = self._run(metrics_port=0, slo="p99_decision_us<200")
+        assert traced.digest == self._run().digest
+        # The ambient recorder collected the serve sketches and gauges.
+        sketch = recorder.metrics.sketch("serve_decision_seconds")
+        assert sketch is not None and sketch.count == traced.decided
+        assert recorder.metrics.gauge("serve_queue_depth") is not None
+
+    def test_impossible_slo_emits_alert_events_and_counts(self):
+        recorder = Recorder()
+        with record_into(recorder):
+            report = self._run(slo="p99_decision_us<0.001")
+        alerts = [e for e in recorder.events if e.kind == "slo_alert"]
+        assert alerts, "sub-nanosecond latency SLO must burn"
+        assert report.slo_alerts == len(alerts)
+        assert all(e.data["slo"] == "p99_decision_us" for e in alerts)
+        assert all(e.data["burn_short"] >= 1.0 for e in alerts)
+
+    def test_report_slo_block_is_complete(self):
+        report = self._run(slo="p99_decision_us<200000")
+        block = report.to_dict()["slo"]
+        assert set(block) == {
+            "decision_p50_us",
+            "decision_p95_us",
+            "decision_p99_us",
+            "shed_ratio",
+            "swap_drop_ratio",
+            "alerts",
+            "sbs_utilization",
+        }
+        assert block["decision_p99_us"] >= block["decision_p50_us"] >= 0.0
+        assert block["shed_ratio"] == 0.0  # queue admission never sheds
+        assert len(block["sbs_utilization"]) == tiny_scenario().network.num_sbs
+
+    def test_healthy_serve_trace_analyzes_clean(self):
+        # Pins the CI `obs analyze --strict` gate on live serve traces:
+        # patience-stopped window solves must not read as stalls.
+        recorder = Recorder()
+        with record_into(recorder):
+            self._run(slo="p99_decision_us<200000,shed_ratio<0.01")
+        diagnosis = api.analyze_trace(recorder.events)
+        assert diagnosis.verdict == "clean", diagnosis.to_json()
+
+    def test_plan_swaps_carry_lag_and_stage_timers(self):
+        recorder = Recorder()
+        with record_into(recorder):
+            self._run()
+        swaps = [e for e in recorder.events if e.kind == "plan_swap"]
+        assert swaps
+        for event in swaps:
+            assert "lag" in event.data
+            assert event.data["lag"] >= 0
+        timed = [e for e in swaps if "solve_total_seconds" in e.data]
+        assert timed, "at least one swap must carry solver stage timings"

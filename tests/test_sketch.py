@@ -1,0 +1,223 @@
+"""Accuracy, merge, and windowing contracts of :mod:`repro.obs.sketch`.
+
+The headline property: against ``numpy.quantile(method="inverted_cdf")``
+on adversarial streams, every estimate stays within the sketch's
+documented relative value error (one bucket width), with a tiny float
+slack for values landing exactly on a bucket edge. Merging contiguous
+shards must serialize byte-identically to serial observation — the
+``map_recorded`` ordered-reduce contract that keeps recorded metric
+registries equal across executors.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import QuantileSketch, WindowedCounter
+
+#: Absorbs log/ceil rounding when a value sits exactly on a bucket edge.
+EDGE_SLACK = 1e-9
+
+in_range_values = st.lists(
+    st.floats(min_value=1e-6, max_value=1e2, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestQuantileAccuracy:
+    @given(values=in_range_values, q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_within_documented_relative_error_of_numpy(self, values, q):
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.observe(v)
+        exact = float(np.quantile(np.array(values), q, method="inverted_cdf"))
+        est = sketch.quantile(q)
+        assert est is not None
+        assert est >= exact * (1.0 - EDGE_SLACK)
+        assert est <= exact * (1.0 + sketch.relative_error) * (1.0 + EDGE_SLACK)
+
+    @given(values=in_range_values)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_aggregates(self, values):
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.observe(v)
+        assert sketch.count == len(values)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.total == pytest.approx(sum(values))
+
+    def test_empty_sketch_has_no_quantiles(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.5) is None
+        summary = sketch.summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None and summary["mean"] is None
+
+    def test_quantile_bounds_validated(self):
+        sketch = QuantileSketch()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            sketch.quantile(1.5)
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError, match="lo"):
+            QuantileSketch(lo=0.0)
+        with pytest.raises(ValueError, match="lo"):
+            QuantileSketch(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError, match="buckets_per_decade"):
+            QuantileSketch(buckets_per_decade=0)
+
+
+class TestClampingAndSpecials:
+    def test_below_range_clamps_but_extrema_stay_exact(self):
+        sketch = QuantileSketch()
+        sketch.observe(1e-12)
+        # The estimate clamps to the exact observed max, so a single tiny
+        # value is recovered exactly despite living in the first bucket.
+        assert sketch.quantile(0.5) == 1e-12
+        assert sketch.min == sketch.max == 1e-12
+
+    def test_above_range_clamps_to_hi_bucket(self):
+        sketch = QuantileSketch()
+        sketch.observe(1e9)
+        # Binned into the last bucket, but the exact-extrema clamp still
+        # recovers the observed value for a singleton stream.
+        assert sketch.counts == {sketch._nbuckets - 1: 1}
+        assert sketch.quantile(1.0) == 1e9
+        assert sketch.max == 1e9
+
+    def test_nan_skipped_inf_counted_but_not_summed(self):
+        sketch = QuantileSketch()
+        sketch.observe(float("nan"))
+        assert sketch.count == 0
+        sketch.observe(1.0)
+        sketch.observe(float("inf"))
+        assert sketch.count == 2
+        assert sketch.total == 1.0
+        assert sketch.max == 1.0
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.0)
+        sketch.observe(-3.0)
+        assert sketch.counts == {0: 2}
+        assert sketch.min == -3.0
+
+
+class TestMerge:
+    # Integer-valued floats: sums are exact in float64, so serial vs
+    # sharded observation must agree to the byte, not just approximately.
+    int_streams = st.lists(
+        st.integers(min_value=1, max_value=10**6), min_size=1, max_size=120
+    )
+
+    @given(values=int_streams, cut=st.integers(min_value=0, max_value=120))
+    @settings(max_examples=100, deadline=None)
+    def test_sharded_merge_serializes_byte_identically(self, values, cut):
+        cut = min(cut, len(values))
+        serial = QuantileSketch()
+        for v in values:
+            serial.observe(float(v))
+        left, right = QuantileSketch(), QuantileSketch()
+        for v in values[:cut]:
+            left.observe(float(v))
+        for v in values[cut:]:
+            right.observe(float(v))
+        left.merge(right)
+        a = json.dumps(serial.to_dict(), sort_keys=True)
+        b = json.dumps(left.to_dict(), sort_keys=True)
+        assert a == b
+
+    @given(values=int_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_associativity(self, values):
+        thirds = np.array_split(np.array(values, dtype=float), 3)
+        def sketch_of(chunk):
+            s = QuantileSketch()
+            for v in chunk:
+                s.observe(float(v))
+            return s
+
+        left = sketch_of(thirds[0])
+        left.merge(sketch_of(thirds[1]))
+        left.merge(sketch_of(thirds[2]))
+
+        tail = sketch_of(thirds[1])
+        tail.merge(sketch_of(thirds[2]))
+        right = sketch_of(thirds[0])
+        right.merge(tail)
+        assert json.dumps(left.to_dict(), sort_keys=True) == json.dumps(
+            right.to_dict(), sort_keys=True
+        )
+
+    def test_mismatched_configs_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="configurations"):
+            QuantileSketch().merge(QuantileSketch(buckets_per_decade=32))
+
+    def test_dict_round_trip(self):
+        sketch = QuantileSketch()
+        for v in (1e-5, 3e-4, 0.2, 7.0, 7.0, 250.0):
+            sketch.observe(v)
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.95) == sketch.quantile(0.95)
+
+
+class TestWindowedCounter:
+    def test_totals_inside_window(self):
+        counter = WindowedCounter(window=10.0, bucket_count=10)
+        for t in range(10):
+            counter.add(float(t))
+        assert counter.total(9.0) == 10.0
+        assert counter.rate(9.0) == pytest.approx(1.0)
+
+    def test_old_buckets_expire(self):
+        counter = WindowedCounter(window=10.0, bucket_count=10)
+        counter.add(0.0, 5.0)
+        assert counter.total(5.0) == 5.0
+        # A full window later, the old bucket is outside the span.
+        assert counter.total(11.0) == 0.0
+
+    def test_ring_reuse_overwrites_expired_epochs(self):
+        counter = WindowedCounter(window=4.0, bucket_count=4)
+        counter.add(0.5, 1.0)
+        counter.add(4.5, 2.0)  # same ring slot, newer epoch
+        assert counter.total(4.5) == 2.0
+
+    def test_stale_out_of_order_add_is_dropped(self):
+        counter = WindowedCounter(window=4.0, bucket_count=4)
+        counter.add(8.5, 2.0)
+        counter.add(0.5, 1.0)  # epoch older than the slot's current one
+        assert counter.total(8.5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedCounter(0.0)
+        with pytest.raises(ValueError, match="bucket_count"):
+            WindowedCounter(1.0, bucket_count=0)
+
+    @given(
+        adds=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_never_exceeds_sum_of_adds(self, adds):
+        counter = WindowedCounter(window=30.0)
+        for t, v in sorted(adds):
+            counter.add(t, v)
+        now = max((t for t, _ in adds), default=0.0)
+        assert counter.total(now) <= sum(v for _, v in adds) + 1e-9
