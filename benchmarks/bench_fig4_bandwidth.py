@@ -5,6 +5,12 @@ Expected shape: every policy's cost falls as bandwidth grows (more requests
 can be served from the edge); the online algorithms' replacement counts
 rise with bandwidth (more offloading value to chase) until the SBS can
 serve everything, while LRFU's stays flat (its ranking ignores bandwidth).
+
+``test_fig4_bw_bound_stress`` is the bandwidth-*starved* counterpart: a
+row stack where every row is bandwidth-bound (the regime Fig. 4's lowest
+``B`` points probe), timing the closed-form parametric solve against the
+bisection reference and asserting the exactness envelope plus the counter
+accounting identity at 100% bound coverage.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import time
 import numpy as np
 
 from repro.api import bandwidth_sweep, render_sweep_table, sweep_to_dict
+from repro.obs import Recorder, record_into
+from repro.optim.waterfill import waterfill_batch
 
 
 def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report, save_json):
@@ -65,3 +73,102 @@ def test_fig4_bandwidth_sweep(benchmark, bench_scale, save_report, save_json):
     for name in repl:
         if name.startswith("RHC"):
             assert repl[name][-1] >= repl[name][0] - 1e-9, name
+
+
+_STRESS_ROWS = 400
+_STRESS_COLS = 2_000
+_STRESS_BW_FRAC = 0.35  # bandwidth as a fraction of the unconstrained fill
+_P2_COUNTERS = ("p2_bw_bound_rows", "p2_bw_closed_form", "p2_bisection_fallbacks")
+
+
+def _bound_stack(rng, rows, cols):
+    """A row stack whose every row is bandwidth-bound.
+
+    Two-phase construction: solve once with effectively infinite bandwidth
+    to learn each row's unconstrained fill, then starve every row to a
+    fraction of it. Two omega groups per row (the paper's two-class SBS),
+    a sparse price field, and a spread of zero-capacity columns exercise
+    the same structure the P2 stack has.
+    """
+    lam = rng.exponential(1.0, (rows, cols)) + 1e-3
+    omvals = np.sort(rng.uniform(0.2, 2.0, (rows, 2)), axis=1)
+    gi = rng.integers(0, 2, (rows, cols))
+    omega = np.take_along_axis(omvals, gi, axis=1)
+    mu = rng.exponential(0.05, (rows, cols))
+    mu[rng.random((rows, cols)) < 0.2] = 0.0
+    caps = lam * rng.uniform(0.1, 1.0, (rows, cols))
+    caps[rng.random((rows, cols)) < 0.15] = 0.0
+    W = (lam * omega).sum(axis=1) * rng.uniform(0.3, 1.2, rows)
+    unconstrained, _ = waterfill_batch(
+        lam, caps, omega, mu, W, np.full(rows, 1e18), 1.0
+    )
+    totals = unconstrained.sum(axis=1)
+    keep = totals > 0
+    bw = totals[keep] * _STRESS_BW_FRAC
+    return lam[keep], caps[keep], omega[keep], mu[keep], W[keep], bw
+
+
+def _row_objectives(alloc, lam, omega, mu, W, scale):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(lam > 0, mu / lam, 0.0)
+    u = np.einsum("rj,rj->r", alloc, omega)
+    return scale * (W - u) ** 2 + np.einsum("rj,rj->r", slope, alloc)
+
+
+def test_fig4_bw_bound_stress(save_json):
+    rng = np.random.default_rng(4)
+    lam, caps, omega, mu, W, bw = _bound_stack(rng, _STRESS_ROWS, _STRESS_COLS)
+    rows = lam.shape[0]
+
+    recorder = Recorder()
+    started = time.perf_counter()
+    with record_into(recorder):
+        closed_a, _ = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+    closed_seconds = time.perf_counter() - started
+    counters = {
+        name: recorder.metrics.counter(name) for name in _P2_COUNTERS
+    }
+    # Every single row is bandwidth-bound by construction, and every bound
+    # row is accounted for by the closed form or a counted fallback.
+    assert counters["p2_bw_bound_rows"] == rows
+    assert (
+        counters["p2_bw_closed_form"] + counters["p2_bisection_fallbacks"]
+        == rows
+    )
+
+    started = time.perf_counter()
+    bisect_a, _ = waterfill_batch(
+        lam, caps, omega, mu, W, bw, 1.0, closed_form=False
+    )
+    bisect_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    legacy_a, _ = waterfill_batch(
+        lam, caps, omega, mu, W, bw, 1.0, closed_form=False, early_exit=False
+    )
+    legacy_seconds = time.perf_counter() - started
+
+    # Feasibility and exactness: within bounds, under budget, never worse
+    # than either bisection beyond the 1e-9 relative envelope.
+    assert (closed_a >= 0.0).all() and (closed_a <= caps + 1e-12).all()
+    assert (closed_a.sum(axis=1) <= bw * (1 + 1e-12) + 1e-12).all()
+    ob_closed = _row_objectives(closed_a, lam, omega, mu, W, 1.0)
+    for reference in (bisect_a, legacy_a):
+        ob_ref = _row_objectives(reference, lam, omega, mu, W, 1.0)
+        envelope = 1e-9 * np.maximum(1.0, np.abs(ob_ref))
+        assert not (ob_closed > ob_ref + envelope).any()
+
+    save_json(
+        "fig4_bw_stress",
+        {
+            "bw_closed_form": True,
+            "rows": int(rows),
+            "columns": _STRESS_COLS,
+            "bw_fraction": _STRESS_BW_FRAC,
+            "closed_seconds": closed_seconds,
+            "bisect_seconds": bisect_seconds,
+            "legacy_seconds": legacy_seconds,
+            "speedup_vs_legacy": legacy_seconds / max(closed_seconds, 1e-9),
+            "solve_counters": counters,
+        },
+    )

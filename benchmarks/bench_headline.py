@@ -29,7 +29,11 @@ from repro.api import (
     render_headline_table,
     sweep_to_dict,
 )
-from repro.config import resolved_batched, resolved_incremental
+from repro.config import (
+    resolved_batched,
+    resolved_bw_closed_form,
+    resolved_incremental,
+)
 
 PARALLEL_WORKERS = 4
 
@@ -42,6 +46,9 @@ _SOLVE_COUNTERS = (
     "p1_quant_memo_hits",
     "flow_warm_resumes",
     "flow_warm_bailouts",
+    "p2_bw_bound_rows",
+    "p2_bw_closed_form",
+    "p2_bisection_fallbacks",
 )
 
 
@@ -103,6 +110,11 @@ def test_headline_beta50(benchmark, bench_scale, save_report, save_json):
         # change apart from a workload change instead of gating wall-times
         # across them.
         "batched": resolved_batched(None),
+        # ``bw_closed_form`` is a runtime *strategy* like ``incremental``:
+        # it is excluded from the diff config digest, so a closed-form
+        # off/on pair diffs as the same workload and ``--gate-costs``
+        # checks the solutions really are bit-identical across kernels.
+        "bw_closed_form": resolved_bw_closed_form(None),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,
@@ -167,3 +179,11 @@ def test_headline_beta50(benchmark, bench_scale, save_report, save_json):
             counters["p1_batched_solves"] + counters["p1_batched_fallbacks"]
             == counters["p1_memo_misses"]
         )
+
+    # Every bandwidth-bound P2 row is accounted for: answered by the
+    # closed-form parametric solve or counted as a bisection fallback.
+    counters = payload["solve_counters"]
+    assert (
+        counters["p2_bw_closed_form"] + counters["p2_bisection_fallbacks"]
+        == counters["p2_bw_bound_rows"]
+    )

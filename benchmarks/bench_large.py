@@ -13,8 +13,12 @@ Three legs, each timed into ``BENCH_large.json``:
 
 - ``p2_kernel``: one stacked ``P2`` solve (R = N*T rows, J = 20,000
   columns) under generic positive prices — the overloaded paper regime,
-  so rows are bandwidth-bound and the legacy bisection is exercised at
-  full width.
+  so rows are bandwidth-bound. A kernel-level A/B on the same row stack
+  times the closed-form parametric solve against the legacy 26-iteration
+  bisection (``closed_form=False, early_exit=False``) and gates a >= 3x
+  speedup plus a >= 5x peak-memory reduction versus the seed kernel's two
+  ``(R, J)`` bracket-state arrays (tracemalloc, measured beyond the
+  output arrays).
 - ``p1_batched``: one ``solve_caching`` over all 500 SBSs with sparse
   hot-set prices, plus the loop path on a small subsample to measure the
   per-SBS cost it replaces (the full loop run is the infeasible case —
@@ -33,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -45,6 +50,7 @@ from repro.core.primal_dual import solve_primal_dual
 from repro.core.problem import JointProblem
 from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
 from repro.obs import Recorder, record_into, run_manifest, write_manifest
+from repro.optim.waterfill import waterfill_batch
 from repro.perf.solvecache import SolveCache
 
 pytestmark = pytest.mark.skipif(
@@ -68,6 +74,45 @@ LOOP_SAMPLE = 4  # SBSs measured on the loop path (the full 500 is the
 # infeasible case this bench exists to document)
 
 _COUNTERS = ("p1_memo_misses", "p1_batched_solves", "p1_batched_fallbacks")
+_P2_COUNTERS = ("p2_bw_bound_rows", "p2_bw_closed_form", "p2_bisection_fallbacks")
+
+
+def _p2_row_stack(problem):
+    """The exact SBS-major row stack ``solve_p2`` feeds the kernel.
+
+    Mirrors ``_solve_p2_fast_batched``'s assembly (uncapped: ``caps = lam``)
+    so the A/B leg below times the kernel on the true workload rows rather
+    than a synthetic stand-in. Every SBS here has the same class count, so
+    the stack has no padding columns.
+    """
+    net = problem.network
+    T = problem.horizon
+    K = net.num_items
+    N = net.num_sbs
+    J = CLASSES_PER_SBS * K
+    R = N * T
+    lam_b = np.zeros((R, J))
+    om_b = np.zeros((R, J))
+    W_b = np.zeros(R)
+    bw_b = np.zeros(R)
+    group = np.repeat(np.arange(N, dtype=np.intp), T)
+    for n in range(N):
+        classes = net.classes_of_sbs[n]
+        rows = slice(n * T, (n + 1) * T)
+        lam = problem.demand[:, classes, :].reshape(T, -1)
+        omega = np.repeat(net.omega_bs[classes], K)
+        lam_b[rows] = lam
+        om_b[rows] = omega
+        W_b[rows] = lam @ omega
+        bw_b[rows] = float(net.bandwidths[n])
+    return lam_b, om_b, W_b, bw_b, group
+
+
+def _row_objectives(alloc, lam, omega, mu, W, scale):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(lam > 0, mu / lam, 0.0)
+    u = np.einsum("rj,rj->r", alloc, omega)
+    return scale * (W - u) ** 2 + np.einsum("rj,rj->r", slope, alloc)
 
 
 def _build_workload():
@@ -108,10 +153,98 @@ def test_large_scale(save_report):
 
     # ---- leg 1: one stacked P2 solve under generic positive prices.
     mu_generic = rng.exponential(0.05, size=problem.y_shape)
+    p2_recorder = Recorder()
     started = time.perf_counter()
-    p2 = solve_p2(problem, mu_generic)
+    with record_into(p2_recorder):
+        p2 = solve_p2(problem, mu_generic)
     p2_seconds = time.perf_counter() - started
     assert np.isfinite(p2.objective)
+    p2_counters = {
+        name: p2_recorder.metrics.counter(name) for name in _P2_COUNTERS
+    }
+    # The overload regime (bandwidth ~ half the offered load) must actually
+    # bind, and every bound row must be accounted for: closed-form solve or
+    # counted bisection fallback.
+    assert p2_counters["p2_bw_bound_rows"] > 0
+    assert (
+        p2_counters["p2_bw_closed_form"] + p2_counters["p2_bisection_fallbacks"]
+        == p2_counters["p2_bw_bound_rows"]
+    )
+
+    # ---- leg 1b: kernel-level A/B on the same bandwidth-bound row stack —
+    # closed-form parametric solve vs the early-exit bisection reference vs
+    # the legacy fixed-depth 26-iteration bisection this PR replaces.
+    lam_b, om_b, W_b, bw_b, group = _p2_row_stack(problem)
+    # Prices in the same SBS-major layout as the stack.
+    mu_b = np.zeros_like(lam_b)
+    for n in range(NUM_SBS):
+        classes = network.classes_of_sbs[n]
+        mu_b[n * HORIZON : (n + 1) * HORIZON] = mu_generic[:, classes, :].reshape(
+            HORIZON, -1
+        )
+    scale = problem.bs_cost.scale
+    R, J = lam_b.shape
+
+    ab_recorder = Recorder()
+    started = time.perf_counter()
+    with record_into(ab_recorder):
+        closed_a, closed_u = waterfill_batch(
+            lam_b, lam_b, om_b, mu_b, W_b, bw_b, scale, group_ids=group
+        )
+    closed_seconds = time.perf_counter() - started
+    ab_counters = {
+        name: ab_recorder.metrics.counter(name) for name in _P2_COUNTERS
+    }
+    bound_rows = ab_counters["p2_bw_bound_rows"]
+    assert bound_rows > 0
+    assert (
+        ab_counters["p2_bw_closed_form"] + ab_counters["p2_bisection_fallbacks"]
+        == bound_rows
+    )
+
+    # Peak working set of the closed-form pass, beyond the two output
+    # arrays, measured against the seed kernel's floor of two full (R, J)
+    # bracket-state arrays: the >= 5x reduction is gated here.
+    tracemalloc.start()
+    mem_a, mem_u = waterfill_batch(
+        lam_b, lam_b, om_b, mu_b, W_b, bw_b, scale, group_ids=group
+    )
+    _, mem_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    state_bytes = mem_peak - (mem_a.nbytes + mem_u.nbytes)
+    seed_floor_bytes = 2 * R * J * 8
+    assert state_bytes * 5 <= seed_floor_bytes, (
+        f"P2 closed-form state {state_bytes / 1e6:.0f} MB is not >= 5x below "
+        f"the seed bracket-array floor {seed_floor_bytes / 1e6:.0f} MB"
+    )
+    del mem_a, mem_u
+
+    started = time.perf_counter()
+    bisect_a, _ = waterfill_batch(
+        lam_b, lam_b, om_b, mu_b, W_b, bw_b, scale,
+        group_ids=group, closed_form=False,
+    )
+    bisect_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    legacy_a, _ = waterfill_batch(
+        lam_b, lam_b, om_b, mu_b, W_b, bw_b, scale,
+        group_ids=group, closed_form=False, early_exit=False,
+    )
+    legacy_seconds = time.perf_counter() - started
+    speedup_vs_legacy = legacy_seconds / max(closed_seconds, 1e-9)
+    assert speedup_vs_legacy >= 3.0, (
+        f"closed form {closed_seconds:.1f}s vs legacy bisection "
+        f"{legacy_seconds:.1f}s: {speedup_vs_legacy:.2f}x < 3x"
+    )
+
+    # Exactness: the closed form is never worse than either bisection,
+    # beyond the 1e-9 relative envelope.
+    ob_closed = _row_objectives(closed_a, lam_b, om_b, mu_b, W_b, scale)
+    ob_legacy = _row_objectives(legacy_a, lam_b, om_b, mu_b, W_b, scale)
+    envelope = 1e-9 * np.maximum(1.0, np.abs(ob_legacy))
+    assert not (ob_closed > ob_legacy + envelope).any()
+    del bisect_a, legacy_a, closed_a, closed_u
 
     # ---- leg 2: all-SBS P1 through the batched certificate pass, with
     # sparse hot-set prices (a handful of clearly-priced items per class,
@@ -186,6 +319,7 @@ def test_large_scale(save_report):
         "bench": "large",
         "scale": "large",
         "batched": True,
+        "bw_closed_form": True,
         "workload": {
             "num_sbs": NUM_SBS,
             "num_items": NUM_ITEMS,
@@ -199,11 +333,32 @@ def test_large_scale(save_report):
             "seed": SEED,
         },
         "build_seconds": build_seconds,
+        # Top-level *_seconds so `repro bench diff` gates them directly.
+        "p2_closed_seconds": closed_seconds,
+        "p2_bisect_seconds": bisect_seconds,
+        "p2_legacy_seconds": legacy_seconds,
+        "solve_counters": {**p1_counters, **ab_counters},
         "p2_kernel": {
             "seconds": p2_seconds,
             "objective": p2.objective,
             "rows": NUM_SBS * HORIZON,
             "columns": CLASSES_PER_SBS * NUM_ITEMS,
+            "counters": p2_counters,
+        },
+        "p2_bw_ab": {
+            "rows": R,
+            "columns": J,
+            "bound_rows": bound_rows,
+            "closed_seconds": closed_seconds,
+            "bisect_seconds": bisect_seconds,
+            "legacy_seconds": legacy_seconds,
+            "speedup_vs_legacy": speedup_vs_legacy,
+            "speedup_vs_bisect": bisect_seconds / max(closed_seconds, 1e-9),
+            "counters": ab_counters,
+            "peak_bytes": mem_peak,
+            "state_bytes": state_bytes,
+            "seed_floor_bytes": seed_floor_bytes,
+            "memory_reduction": seed_floor_bytes / max(state_bytes, 1),
         },
         "p1_batched": {
             "seconds": p1_seconds,
@@ -238,6 +393,11 @@ def test_large_scale(save_report):
         f"  build               {build_seconds:8.1f}s",
         f"  P2 stacked kernel   {p2_seconds:8.1f}s   (one solve, "
         f"{NUM_SBS * HORIZON} x {CLASSES_PER_SBS * NUM_ITEMS})",
+        f"  P2 bw-bound A/B     {closed_seconds:8.1f}s   closed vs "
+        f"{bisect_seconds:.1f}s early-exit, {legacy_seconds:.1f}s legacy "
+        f"({speedup_vs_legacy:.1f}x); state {state_bytes / 1e6:.0f} MB vs "
+        f"seed floor {seed_floor_bytes / 1e6:.0f} MB "
+        f"({seed_floor_bytes / max(state_bytes, 1):.1f}x)",
         f"  P1 batched (500)    {p1_seconds:8.1f}s   vs projected loop "
         f"{loop_projected_seconds:.0f}s "
         f"({loop_projected_seconds / max(p1_seconds, 1e-9):.0f}x)",

@@ -17,15 +17,22 @@ per-bandwidth-unit benefit ``kappa_j = 2 r omega_j - mu_j / lambda_j`` and
 fill greedily up to the bandwidth, and the resulting residual is monotone
 in ``r``. Both the loop and batched layouts route every (SBS, slot) row
 through :func:`repro.optim.waterfill.waterfill_batch`, which solves the
-fixed point *in closed form* via a single threshold scan whenever the
-bandwidth constraint is slack (the overwhelmingly common case) and falls
-back to the legacy residual bisection only for bandwidth-bound rows — so
-the two layouts are bit-identical by construction, and results agree with
-the historical all-bisection solver to the documented ``<= 1e-9``
-objective envelope (the closed form is exact where the bisection was a
-``2^-26``-bracketed approximation). The general case (``omega-hat > 0``
-or non-quadratic costs) falls back to FISTA over the box-plus-halfspace
-feasible set.
+fixed point *in closed form*: a single threshold scan whenever the
+bandwidth constraint is slack (the overwhelmingly common case) and the
+exact parametric bound solve (DESIGN.md §7) when it binds, with the
+legacy residual bisection retained only as a fallback for degenerate
+rows and as the A/B reference (``closed_form=False``). Both layouts are
+bit-identical by construction, and results agree with the historical
+all-bisection solver to the documented ``<= 1e-9`` objective envelope
+(the closed form is exact where the bisection was a ``2^-26``-bracketed
+approximation). ``RuntimeConfig`` (or ``REPRO_BW_CLOSED_FORM`` /
+``REPRO_BISECTION_ITERS``) selects the path and the reference depth;
+the resolution happens once in :func:`solve_p2` /
+:func:`solve_y_given_x` and is threaded through every kernel and
+projection call below. The general case (``omega-hat > 0`` or
+non-quadratic costs) falls back to FISTA over the box-plus-halfspace
+feasible set, whose binding-block projection uses the same exact
+parametric solve (:func:`repro.optim.projection.halfspace_theta_exact`).
 """
 
 from __future__ import annotations
@@ -34,17 +41,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import RuntimeConfig, resolved_batched
+from repro.config import (
+    RuntimeConfig,
+    resolved_batched,
+    resolved_bisection_iters,
+    resolved_bw_closed_form,
+)
 from repro.core.problem import JointProblem
 from repro.exceptions import DimensionMismatchError
 from repro.network.costs import QuadraticOperatingCost
 from repro.optim.budget import SolveBudget
 from repro.optim.fista import minimize_fista
-from repro.optim.projection import project_halfspace_box_batch
+from repro.optim.projection import halfspace_theta_exact
 from repro.optim.waterfill import waterfill_batch
 from repro.types import FloatArray, IntArray
-
-_BISECTION_ITERS = 26
 
 
 @dataclass(frozen=True)
@@ -87,13 +97,23 @@ def solve_p2(
     ``budget`` is the enclosing anytime budget (shared clock): the FISTA
     fallback stops early once it is exhausted and returns its best feasible
     iterate. The closed-form fast path ignores it — one pass is exact.
-    ``config`` selects the batched solve core (default on); both paths
-    return bit-identical solutions.
+    ``config`` selects the batched solve core (default on; both paths
+    return bit-identical solutions), the bandwidth-bound solve
+    (``bw_closed_form``, default on) and the bisection reference depth
+    (``bisection_iters``).
     """
     if mu.shape != problem.y_shape:
         raise DimensionMismatchError(f"mu shape {mu.shape} != {problem.y_shape}")
+    closed_form = resolved_bw_closed_form(config)
+    bisection_iters = resolved_bisection_iters(config)
     if _uses_fast_path(problem):
-        return _solve_p2_fast(problem, mu, batched=resolved_batched(config))
+        return _solve_p2_fast(
+            problem,
+            mu,
+            batched=resolved_batched(config),
+            closed_form=closed_form,
+            bisection_iters=bisection_iters,
+        )
     return _solve_p2_fista(
         problem,
         mu,
@@ -102,6 +122,8 @@ def solve_p2(
         max_iter=max_iter,
         budget=budget,
         batched=resolved_batched(config),
+        closed_form=closed_form,
+        bisection_iters=bisection_iters,
     )
 
 
@@ -125,9 +147,16 @@ def solve_y_given_x(
     if x.shape != problem.x_shape:
         raise DimensionMismatchError(f"x shape {x.shape} != {problem.x_shape}")
     zero_mu = np.zeros(problem.y_shape)
+    closed_form = resolved_bw_closed_form(config)
+    bisection_iters = resolved_bisection_iters(config)
     if _uses_fast_path(problem):
         return _solve_p2_fast(
-            problem, zero_mu, x_caps=x, batched=resolved_batched(config)
+            problem,
+            zero_mu,
+            x_caps=x,
+            batched=resolved_batched(config),
+            closed_form=closed_form,
+            bisection_iters=bisection_iters,
         )
     return _solve_p2_fista(
         problem,
@@ -138,6 +167,8 @@ def solve_y_given_x(
         max_iter=max_iter,
         budget=budget,
         batched=resolved_batched(config),
+        closed_form=closed_form,
+        bisection_iters=bisection_iters,
     )
 
 
@@ -164,6 +195,8 @@ def _solve_p2_fast(
     *,
     x_caps: FloatArray | None = None,
     batched: bool = False,
+    closed_form: bool | None = None,
+    bisection_iters: int | None = None,
 ) -> LoadBalancingSolution:
     """Exact solver for quadratic BS cost with ``omega-hat = 0``.
 
@@ -173,9 +206,17 @@ def _solve_p2_fast(
     all ``N x T`` (SBS, slot) rows into a single call. The kernel is
     padding- and stacking-invariant, so both produce bit-identical
     solutions — ``batched`` selects granularity, not semantics.
+    ``closed_form`` / ``bisection_iters`` are forwarded to the kernel
+    verbatim (``None`` re-resolves from the environment there).
     """
     if batched:
-        return _solve_p2_fast_batched(problem, mu, x_caps=x_caps)
+        return _solve_p2_fast_batched(
+            problem,
+            mu,
+            x_caps=x_caps,
+            closed_form=closed_form,
+            bisection_iters=bisection_iters,
+        )
     net = problem.network
     scale = problem.bs_cost.scale  # type: ignore[union-attr]
     T = problem.horizon
@@ -195,7 +236,17 @@ def _solve_p2_fast(
         W = lam @ omega  # (T,)
         B = float(net.bandwidths[n])
 
-        alloc, u = _waterfill(lam, caps, omega, mu_n, W, B, scale)
+        alloc, u = _waterfill(
+            lam,
+            caps,
+            omega,
+            mu_n,
+            W,
+            B,
+            scale,
+            closed_form=closed_form,
+            bisection_iters=bisection_iters,
+        )
         with np.errstate(divide="ignore", invalid="ignore"):
             y_n = np.where(lam > 0, alloc / lam, 0.0)
         y[:, classes, :] = y_n.reshape(T, len(classes), net.num_items)
@@ -209,6 +260,8 @@ def _solve_p2_fast_batched(
     mu: FloatArray,
     *,
     x_caps: FloatArray | None = None,
+    closed_form: bool | None = None,
+    bisection_iters: int | None = None,
 ) -> LoadBalancingSolution:
     """Batched fast path: one water-fill call over all ``N x T`` rows.
 
@@ -228,7 +281,14 @@ def _solve_p2_fast_batched(
         # One SBS: SBS-major stacking is the identity, so the loop body —
         # which already feeds all T rows through one kernel call — is the
         # same computation minus the zero-init/copy assembly.
-        return _solve_p2_fast(problem, mu, x_caps=x_caps, batched=False)
+        return _solve_p2_fast(
+            problem,
+            mu,
+            x_caps=x_caps,
+            batched=False,
+            closed_form=closed_form,
+            bisection_iters=bisection_iters,
+        )
     counts = [len(net.classes_of_sbs[n]) for n in range(N)]
     j_max = max(counts) * K if N else 0
     R = N * T
@@ -260,7 +320,16 @@ def _solve_p2_fast_batched(
         bw_b[rows] = float(net.bandwidths[n])
 
     alloc_b, u_b = waterfill_batch(
-        lam_b, caps_b, om_b, mu_b, W_b, bw_b, scale, group_ids=group
+        lam_b,
+        caps_b,
+        om_b,
+        mu_b,
+        W_b,
+        bw_b,
+        scale,
+        group_ids=group,
+        closed_form=closed_form,
+        bisection_iters=bisection_iters,
     )
 
     y = np.zeros(problem.y_shape)
@@ -287,6 +356,9 @@ def _waterfill(
     W: FloatArray,
     bandwidth: float,
     scale: float,
+    *,
+    closed_form: bool | None = None,
+    bisection_iters: int | None = None,
 ) -> tuple[FloatArray, FloatArray]:
     """One-SBS water-fill: thin wrapper over the shared batched kernel.
 
@@ -299,7 +371,15 @@ def _waterfill(
     omega_rows = np.ascontiguousarray(np.broadcast_to(omega, caps.shape))
     bw = np.full(lam.shape[0], float(bandwidth))
     return waterfill_batch(
-        np.ascontiguousarray(lam), caps, omega_rows, mu, W, bw, scale
+        np.ascontiguousarray(lam),
+        caps,
+        omega_rows,
+        mu,
+        W,
+        bw,
+        scale,
+        closed_form=closed_form,
+        bisection_iters=bisection_iters,
     )
 
 
@@ -311,16 +391,21 @@ def _waterfill_reference(
     W: FloatArray,
     bandwidth: float,
     scale: float,
+    *,
+    iters: int | None = None,
 ) -> tuple[FloatArray, FloatArray]:
     """Historical all-bisection water-fill, kept as an independent test
     reference for the closed-form kernel.
 
     Bisection on the residual ``r`` with a greedy bandwidth fill inside;
-    26 fixed iterations bracket the fixed point to ``~2^-26`` relative
-    accuracy, then the closing interpolation mixes the two endpoint fills.
-    The production kernel must match this solver's objective to ``1e-9``
-    (and is exact where this one is approximate).
+    ``iters`` fixed iterations (arg > ``RuntimeConfig.bisection_iters`` >
+    ``REPRO_BISECTION_ITERS`` > 26) bracket the fixed point to
+    ``~2^-iters`` relative accuracy, then the closing interpolation mixes
+    the two endpoint fills. The production kernel must match this
+    solver's objective to ``1e-9`` (and is exact where this one is
+    approximate).
     """
+    iters = resolved_bisection_iters(None, iters)
     with np.errstate(divide="ignore", invalid="ignore"):
         slope = np.where(lam > 0, mu / lam, np.inf)
     omega_full = np.broadcast_to(omega, caps.shape)
@@ -381,7 +466,7 @@ def _waterfill_reference(
 
     r_lo = np.zeros_like(W)
     r_hi = np.maximum(W.astype(np.float64), 1e-12)
-    for _ in range(_BISECTION_ITERS):
+    for _ in range(iters):
         mid = 0.5 * (r_lo + r_hi)
         _, u = fill(mid, with_alloc=False)
         implied = W - u
@@ -419,6 +504,8 @@ def _solve_p2_fista(
     max_iter: int = 500,
     budget: SolveBudget | None = None,
     batched: bool = False,
+    closed_form: bool | None = None,
+    bisection_iters: int | None = None,
 ) -> LoadBalancingSolution:
     """General-case ``P2`` via accelerated projected gradient.
 
@@ -426,7 +513,8 @@ def _solve_p2_fista(
     tensor; ``batched`` additionally runs the per-SBS block projection as
     one stacked :func:`_project_blocks_capped` call over all ``N x T``
     rows instead of one call per SBS. Per-row independence of the theta
-    bisection makes the two layouts bit-identical.
+    solve (exact by default, bisection under ``closed_form=False``) makes
+    the two layouts bit-identical.
     """
     net = problem.network
     T = problem.horizon
@@ -498,7 +586,14 @@ def _solve_p2_fista(
                 J = counts[n] * K
                 rows = slice(n * T, (n + 1) * T)
                 v_b[rows, :J] = yt[:, classes, :].reshape(T, -1)
-            out_b = _project_blocks_capped(v_b, a_b, bud_b, caps_b)
+            out_b = _project_blocks_capped(
+                v_b,
+                a_b,
+                bud_b,
+                caps_b,
+                closed_form=closed_form,
+                iterations=bisection_iters,
+            )
             y = np.empty(problem.y_shape)
             for n in range(N):
                 classes = net.classes_of_sbs[n]
@@ -522,7 +617,12 @@ def _solve_p2_fista(
                 a = lam[:, classes, :].reshape(T, -1)
                 budgets = np.full(T, net.bandwidths[n])
                 projected = _project_blocks_capped(
-                    block, a, budgets, caps[:, classes, :].reshape(T, -1)
+                    block,
+                    a,
+                    budgets,
+                    caps[:, classes, :].reshape(T, -1),
+                    closed_form=closed_form,
+                    iterations=bisection_iters,
                 )
                 y[:, classes, :] = projected.reshape(T, len(classes), net.num_items)
             return y.reshape(-1)
@@ -548,12 +648,18 @@ def _project_blocks_capped(
     caps: FloatArray,
     *,
     early_exit: bool = True,
+    closed_form: bool | None = None,
+    iterations: int | None = None,
 ) -> FloatArray:
     """Batched projection onto ``{0 <= y <= caps, a . y <= budget}`` per row.
 
     Extends :func:`repro.optim.projection.project_halfspace_box_batch` to
     per-coordinate upper bounds (needed when ``y <= x`` is enforced
-    directly rather than dualized).
+    directly rather than dualized). By default the binding rows solve the
+    exact parametric theta (:func:`repro.optim.projection.halfspace_theta_exact`);
+    ``closed_form=False`` (arg > config > ``REPRO_BW_CLOSED_FORM``) keeps
+    the legacy theta bisection as the A/B reference, running
+    ``iterations`` steps (arg > config > ``REPRO_BISECTION_ITERS`` > 26).
 
     The theta bisection exits early for any row whose bracket endpoints
     already produce the same clipped point bitwise: ``clip(v - theta a)``
@@ -569,6 +675,13 @@ def _project_blocks_capped(
         return base
     vv, aa, bb, cc = v[violated], a[violated], budgets[violated], caps[violated]
 
+    if resolved_bw_closed_form(None, closed_form):
+        theta = halfspace_theta_exact(vv, aa, bb, 0.0, cc)
+        out = base
+        out[violated] = np.clip(vv - theta[:, None] * aa, 0.0, cc)
+        return out
+    iters = resolved_bisection_iters(None, iterations)
+
     theta_lo = np.zeros(vv.shape[0])
     theta_hi = np.ones(vv.shape[0])
     for _ in range(64):
@@ -583,7 +696,7 @@ def _project_blocks_capped(
     idx = np.arange(vv.shape[0])
     y_lo = np.clip(vv - theta_lo[:, None] * aa, 0.0, cc)
     y_hi = np.clip(vv - theta_hi[:, None] * aa, 0.0, cc)
-    for _ in range(_BISECTION_ITERS):
+    for _ in range(iters):
         if early_exit:
             same = np.all(y_lo == y_hi, axis=1)
             if same.any():

@@ -35,7 +35,12 @@ from dataclasses import replace as dc_replace
 
 import numpy as np
 
-from repro.config import RuntimeConfig, resolved_batched
+from repro.config import (
+    RuntimeConfig,
+    resolved_batched,
+    resolved_bisection_iters,
+    resolved_bw_closed_form,
+)
 from repro.core.load_balancing import _uses_fast_path, solve_y_given_x
 from repro.core.problem import JointProblem
 from repro.exceptions import ConfigurationError
@@ -95,7 +100,12 @@ def _cell_moves(
 
 
 def _candidate_blocks(
-    sub: JointProblem, n: int, new_rows: FloatArray
+    sub: JointProblem,
+    n: int,
+    new_rows: FloatArray,
+    *,
+    closed_form: bool | None = None,
+    bisection_iters: int | None = None,
 ) -> FloatArray:
     """Oracle ``y`` blocks of SBS ``n`` for a stack of candidate cache rows.
 
@@ -124,6 +134,8 @@ def _candidate_blocks(
         np.full(V, W_val),
         np.full(V, float(net.bandwidths[n])),
         sub.bs_cost.scale,  # type: ignore[union-attr]
+        closed_form=closed_form,
+        bisection_iters=bisection_iters,
     )
     with np.errstate(divide="ignore", invalid="ignore"):
         return np.where(lam_b > 0, alloc_b / lam_b, 0.0)
@@ -153,6 +165,8 @@ def polish_caching(
     T = problem.horizon
     K = net.num_items
     batched = resolved_batched(config) and _uses_fast_path(problem)
+    closed_form = resolved_bw_closed_form(config)
+    bisection_iters = resolved_bisection_iters(config)
     slots = _slot_problems(problem)
     slot_y: list[FloatArray] = []
     slot_cost = np.zeros(T)
@@ -178,7 +192,13 @@ def polish_caching(
                             new_rows[v, k_out] = 0.0
                         if k_in is not None:
                             new_rows[v, k_in] = 1.0
-                    blocks = _candidate_blocks(slots[t], n, new_rows)
+                    blocks = _candidate_blocks(
+                        slots[t],
+                        n,
+                        new_rows,
+                        closed_form=closed_form,
+                        bisection_iters=bisection_iters,
+                    )
                     classes = net.classes_of_sbs[n]
                     sub = slots[t]
                     for v, (k_out, k_in) in enumerate(moves):

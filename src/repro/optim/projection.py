@@ -4,14 +4,24 @@ The load-balancing subproblem ``P2`` is solved per SBS and slot over the
 set ``{y : lo <= y <= hi, a . y <= budget}`` (box plus one weighted
 halfspace — constraint (2) of the paper with the box (11)/(3)). Its
 Euclidean projection reduces, by Lagrangian duality, to a one-dimensional
-root-finding problem over the halfspace multiplier, solved here by
-bisection to machine-level accuracy.
+root-finding problem over the halfspace multiplier ``theta``: the
+projected point is ``clip(v - theta a, lo, hi)`` and the budget usage of
+that point is a continuous, piecewise-linear, non-increasing function of
+``theta``. The batched operators solve for ``theta`` **exactly** — one
+stable sort of the 2d clip breakpoints per row, prefix sums of the
+per-segment linear coefficients, and a vectorized count to locate the
+crossing segment (mirroring the parametric bandwidth-bound water-fill of
+:mod:`repro.optim.waterfill`, DESIGN.md §7). The historical bisection is
+kept behind ``closed_form=False`` as the A/B reference; the scalar
+:func:`project_halfspace_box` stays a bisection because its callers are
+not hot.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.config import resolved_bw_closed_form
 from repro.exceptions import ConfigurationError, InfeasibleProblemError
 from repro.types import FloatArray
 
@@ -84,6 +94,79 @@ def project_halfspace_box(
     return np.clip(v - theta_hi * a, lo_arr, hi_arr)
 
 
+def halfspace_theta_exact(
+    vv: FloatArray,
+    aa: FloatArray,
+    bb: FloatArray,
+    lo: FloatArray | float,
+    hi: FloatArray | float,
+) -> FloatArray:
+    """Exact halfspace multiplier for rows whose budget constraint binds.
+
+    For each row, returns the smallest ``theta >= 0`` such that
+    ``aa . clip(vv - theta aa, lo, hi) <= bb``. The usage map
+    ``U(theta) = sum_j a_j clip(v_j - theta a_j, lo_j, hi_j)`` is
+    continuous, piecewise linear and non-increasing; coordinate ``j``
+    (with ``a_j > 0``) leaves its ``hi`` clip at ``theta = (v_j - hi_j) /
+    a_j`` and enters its ``lo`` clip at ``theta = (v_j - lo_j) / a_j``,
+    so between breakpoints ``U(theta) = C - Q theta`` with ``Q`` the sum
+    of ``a_j^2`` over the unclipped coordinates. One **stable** argsort
+    of the 2d breakpoints per row plus prefix sums of the segment deltas
+    yields every ``(C_k, Q_k)``; counting the breakpoints whose usage
+    still exceeds ``bb`` locates the crossing segment and the root is
+    read off exactly. The stable sort makes tie order follow the
+    original coordinate order, so zero-padded and compressed layouts of
+    the same row produce bit-identical projections.
+
+    Callers must pre-filter to violated rows (``U(0) > bb``); coordinates
+    with ``a_j == 0`` never move and contribute nothing to the usage.
+    """
+    B, d = vv.shape
+    lo_b = np.broadcast_to(np.asarray(lo, dtype=np.float64), vv.shape)
+    hi_b = np.broadcast_to(np.asarray(hi, dtype=np.float64), vv.shape)
+    pos = aa > 0.0
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        # Breakpoint "events" in theta; a_j == 0 coordinates park at +inf
+        # with zero deltas, so padding columns are inert.
+        th_enter = np.where(pos, (vv - hi_b) / aa, np.inf)
+        th_leave = np.where(pos, (vv - lo_b) / aa, np.inf)
+        ev_th = np.concatenate([th_enter, th_leave], axis=1)
+        av = np.where(pos, aa * vv, 0.0)
+        dC = np.concatenate(
+            [av - np.where(pos, aa * hi_b, 0.0), np.where(pos, aa * lo_b, 0.0) - av],
+            axis=1,
+        )
+        aq = np.where(pos, aa * aa, 0.0)
+        dQ = np.concatenate([aq, -aq], axis=1)
+        order = np.argsort(ev_th, axis=1, kind="stable")
+        ridx = np.arange(B)[:, None]
+        th_s = ev_th[ridx, order]
+        # C0 (all coordinates at their hi clip) must be a *sequential* sum:
+        # np.sum's pairwise accumulation regroups when zero columns are
+        # interleaved, which would break bit-identity between padded and
+        # compressed layouts of the same rows. cumsum is sequential, so
+        # inserted zeros are exact no-ops.
+        C0 = np.cumsum(np.where(pos, aa * hi_b, 0.0), axis=1)[:, -1:]
+        C = C0 + np.cumsum(dC[ridx, order], axis=1)
+        # True Q is a sum of squares (>= 0 on every segment); clamp the
+        # cancellation residue of the +/- prefix so the +inf tail events
+        # evaluate to NaN / -inf below rather than +inf.
+        Q = np.maximum(np.cumsum(dQ[ridx, order], axis=1), 0.0)
+        # Usage at each breakpoint (evaluated with the right-segment
+        # coefficients — U is continuous, so the side does not matter).
+        # +inf tail events give -inf or NaN, neither of which counts.
+        u_at = C - Q * th_s
+        m = np.count_nonzero(u_at > bb[:, None], axis=1)
+    seg = np.maximum(m - 1, 0)
+    rows = np.arange(B)
+    C_s, Q_s, th_c = C[rows, seg], Q[rows, seg], th_s[rows, seg]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        theta = np.where(Q_s > 0.0, (C_s - bb) / Q_s, th_c)
+    # m == 0 only for degenerate rows (all a_j == 0) that slipped past the
+    # feasibility guard on tolerance; theta = 0 returns the plain clip.
+    return np.maximum(np.where(m > 0, theta, 0.0), 0.0)
+
+
 def project_halfspace_box_batch(
     v: FloatArray,
     a: FloatArray,
@@ -92,14 +175,18 @@ def project_halfspace_box_batch(
     hi: float = 1.0,
     *,
     iterations: int = 60,
+    closed_form: bool | None = None,
 ) -> FloatArray:
     """Batched :func:`project_halfspace_box` over leading blocks.
 
     ``v`` and ``a`` have shape ``(B, d)`` (``a`` may also be ``(d,)`` and is
     broadcast); ``budgets`` has shape ``(B,)``. Block ``i`` is projected
-    onto ``{y : lo <= y <= hi, a[i] . y <= budgets[i]}``. All blocks share
-    one vectorized bisection loop, which is what makes the per-slot
-    bandwidth projection affordable inside FISTA.
+    onto ``{y : lo <= y <= hi, a[i] . y <= budgets[i]}``. By default the
+    binding blocks are solved exactly via
+    :func:`halfspace_theta_exact`; ``closed_form`` (arg >
+    ``RuntimeConfig`` > ``REPRO_BW_CLOSED_FORM`` > default on) selects
+    the legacy vectorized bisection instead, which runs ``iterations``
+    halving steps and is kept as the A/B reference.
     """
     v = np.asarray(v, dtype=np.float64)
     if v.ndim != 2:
@@ -127,6 +214,12 @@ def project_halfspace_box_batch(
     vv = v[violated]
     aa = a[violated]
     bb = budgets[violated]
+
+    if resolved_bw_closed_form(None, closed_form):
+        theta = halfspace_theta_exact(vv, aa, bb, lo, hi)
+        out = base
+        out[violated] = np.clip(vv - theta[:, None] * aa, lo, hi)
+        return out
 
     def block_usage(theta: FloatArray) -> FloatArray:
         y = np.clip(vv - theta[:, None] * aa, lo, hi)

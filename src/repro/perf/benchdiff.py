@@ -40,6 +40,7 @@ _RESULT_FIELDS = frozenset(
         "workers",
         "executor",
         "incremental",
+        "bw_closed_form",
         "costs_identical",
         "executors_identical",
         "parallel_skipped",

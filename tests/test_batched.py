@@ -35,6 +35,7 @@ from repro.core.polish import polish_caching
 from repro.core.rounding import optimal_rounding_threshold, round_caching
 from repro.core.problem import JointProblem
 from repro.network import ContentCatalog, MUClass, Network, SmallBaseStation
+from repro.obs import Recorder, record_into
 from repro.optim.waterfill import waterfill_batch
 from repro.perf.solvecache import SolveCache
 
@@ -220,6 +221,27 @@ class TestProjectionEarlyExit:
         fast = _project_blocks_capped(v, a, budgets, caps, early_exit=True)
         assert np.array_equal(full, fast)
 
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 6), st.integers(1, 9))
+    def test_exact_theta_beats_bisection(self, seed, R, J):
+        """The event-sweep theta is feasible and never a worse projection
+        (in Euclidean distance) than the bisection reference, beyond the
+        1e-9 envelope."""
+        rng = np.random.default_rng(seed)
+        v = rng.uniform(-1.0, 2.0, size=(R, J))
+        a = rng.uniform(0.0, 3.0, size=(R, J)) * (rng.random((R, J)) > 0.2)
+        budgets = rng.uniform(0.2, 2.0, size=R)
+        caps = rng.uniform(0.0, 1.0, size=(R, J)) * (rng.random((R, J)) > 0.2)
+        exact = _project_blocks_capped(v, a, budgets, caps)
+        ref = _project_blocks_capped(v, a, budgets, caps, closed_form=False)
+        assert (exact >= -1e-12).all()
+        assert (exact <= caps + 1e-9).all()
+        usage = np.einsum("rj,rj->r", a, exact)
+        assert (usage <= budgets * (1 + 1e-9) + 1e-9).all()
+        d_exact = ((exact - v) ** 2).sum(axis=1)
+        d_ref = ((ref - v) ** 2).sum(axis=1)
+        assert (d_exact <= d_ref + 1e-9 * np.maximum(1.0, d_ref)).all()
+
 
 class TestP1Batched:
     """The stacked certificate pass answers exactly like the flow backend."""
@@ -377,3 +399,257 @@ class TestPolishBatched:
         assert np.array_equal(x_l, x_b)
         assert np.array_equal(y_l, y_b)
         assert cost_l.total == cost_b.total
+
+
+def _bound_stack(rng, R, J, G=2, bw_frac=0.4):
+    """A row stack whose every surviving row is bandwidth-bound.
+
+    Two-phase: solve once with effectively infinite bandwidth to learn each
+    row's unconstrained fill, then starve every row to ``bw_frac`` of it —
+    the adversarial regime where the closed-form parametric solve carries
+    the whole batch. ``G`` distinct positive omegas per row (``G <= 2`` is
+    the certified closed-form family; ``G >= 3`` must fall back, counted).
+    """
+    lam = rng.exponential(1.0, (R, J)) + 1e-3
+    omvals = np.sort(rng.uniform(0.2, 2.0, (R, G)), axis=1)
+    gi = rng.integers(0, G, (R, J))
+    omega = np.take_along_axis(omvals, gi, axis=1)
+    mu = rng.exponential(0.5, (R, J))
+    mu[rng.random((R, J)) < 0.3] = 0.0
+    caps = lam * rng.uniform(0.1, 1.0, (R, J))
+    caps[rng.random((R, J)) < 0.15] = 0.0
+    # Rows whose every positive-cap item has zero slope take the
+    # single-pass greedy shortcut and are (by design) not counted as
+    # bound rows — force one sloped, capped item per row so every
+    # surviving row really enters the bound stage.
+    anchor = np.arange(R)
+    mu[anchor, 0] = np.maximum(mu[anchor, 0], 0.1)
+    caps[anchor, 0] = np.maximum(caps[anchor, 0], 0.5 * lam[anchor, 0])
+    W = (lam * omega).sum(axis=1) * rng.uniform(0.3, 1.2, R)
+    unconstrained, _ = waterfill_batch(
+        lam, caps, omega, mu, W, np.full(R, 1e18), 1.0
+    )
+    totals = unconstrained.sum(axis=1)
+    keep = totals > 0
+    bw = totals[keep] * bw_frac
+    return lam[keep], caps[keep], omega[keep], mu[keep], W[keep], bw
+
+
+_P2_COUNTERS = ("p2_bw_bound_rows", "p2_bw_closed_form", "p2_bisection_fallbacks")
+
+
+def _counters(run):
+    rec = Recorder()
+    with record_into(rec):
+        out = run()
+    return out, {name: rec.metrics.counter(name) for name in _P2_COUNTERS}
+
+
+class TestBwBoundClosedForm:
+    """Exactness and accounting of the closed-form bandwidth-bound solve."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(2, 25),
+        st.integers(2, 18),
+        st.sampled_from([1, 2]),
+        st.floats(0.05, 0.95),
+    )
+    def test_feasible_tight_and_never_worse(self, seed, R, J, G, bw_frac):
+        """On an all-bound stack the closed form stays feasible, exhausts
+        the budget (complementary slackness: the bound multiplier is
+        positive, so the constraint is tight), and is never worse than a
+        deep bisection beyond the 1e-9 relative envelope."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _bound_stack(rng, R, J, G, bw_frac)
+        if lam.shape[0] == 0:
+            return
+        (out, counters) = _counters(
+            lambda: waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+        )
+        alloc, u = out
+        rows = lam.shape[0]
+        assert counters["p2_bw_bound_rows"] == rows
+        # Accounting identity: certified closed-form solves plus counted
+        # bisection fallbacks cover every bound row (degenerate rows may
+        # legitimately fail the certificate and fall back).
+        assert (
+            counters["p2_bw_closed_form"] + counters["p2_bisection_fallbacks"]
+            == rows
+        )
+        assert (alloc >= 0.0).all()
+        assert (alloc <= caps * (1 + 1e-12) + 1e-12).all()
+        sums = alloc.sum(axis=1)
+        assert (sums <= bw * (1 + 1e-9) + 1e-12).all()
+        # Complementary slackness: the unconstrained fill strictly exceeds
+        # bw, so the budget multiplier is positive and the optimum sits on
+        # the hyperplane. Closed-form rows are exact; when a fallback row
+        # is present its bisection is tight only to its bracket width.
+        if counters["p2_bisection_fallbacks"] == 0:
+            assert (sums >= bw * (1 - 1e-9) - 1e-12).all()
+        else:
+            assert (sums >= bw * (1 - 1e-6) - 1e-9).all()
+        deep, _ = waterfill_batch(
+            lam, caps, omega, mu, W, bw, 1.0,
+            closed_form=False, bisection_iters=60,
+        )
+        for r in range(rows):
+            got = _row_objective(alloc[r], lam[r], omega[r], mu[r], W[r], 1.0)
+            ref = _row_objective(deep[r], lam[r], omega[r], mu[r], W[r], 1.0)
+            assert got <= ref + 1e-9 * max(1.0, abs(ref))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 12), st.integers(3, 14))
+    def test_three_group_rows_fall_back_counted(self, seed, R, J):
+        """G = 3 is outside the certified family: every bound row must take
+        the (column-compressed) bisection fallback, bit-identical to the
+        closed_form=False path, and be counted."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _bound_stack(rng, R, J, G=3)
+        if lam.shape[0] == 0:
+            return
+        # Rows where fewer than 3 omega groups survive the cap mask may
+        # still be solved closed-form; only the accounting total is fixed.
+        (out, counters) = _counters(
+            lambda: waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+        )
+        rows = lam.shape[0]
+        assert counters["p2_bw_bound_rows"] == rows
+        assert (
+            counters["p2_bw_closed_form"] + counters["p2_bisection_fallbacks"]
+            == rows
+        )
+        # Rows with more than two surviving omega groups must all have
+        # fallen back (the certified families only cover G <= 2).
+        g_counts = [
+            np.unique(omega[r][(caps[r] > 0) & (omega[r] > 0)]).size
+            for r in range(rows)
+        ]
+        assert counters["p2_bisection_fallbacks"] >= sum(g > 2 for g in g_counts)
+        # Fallback rows reuse the bisection verbatim, so when everything
+        # fell back the outputs must match the closed_form=False bits.
+        ref = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0, closed_form=False)
+        if counters["p2_bw_closed_form"] == 0:
+            assert np.array_equal(out[0], ref[0])
+            assert np.array_equal(out[1], ref[1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 10), st.integers(2, 10))
+    def test_padding_invariance_on_bound_stack(self, seed, R, J):
+        """Order-preserving zero-cap padding cannot change any bit of the
+        closed-form bound solve (the layout property the batched/loop
+        equivalence rests on)."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _bound_stack(rng, R, J)
+        if lam.shape[0] == 0:
+            return
+        rows = lam.shape[0]
+        alloc, u = waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+        # Interleave dead columns at random positions, preserving order.
+        width = J + int(rng.integers(1, J + 1))
+        keep = np.sort(rng.choice(width, size=J, replace=False))
+        lam_p = np.zeros((rows, width))
+        caps_p = np.zeros((rows, width))
+        om_p = np.zeros((rows, width))
+        mu_p = np.zeros((rows, width))
+        lam_p[:, keep], caps_p[:, keep] = lam, caps
+        om_p[:, keep], mu_p[:, keep] = omega, mu
+        alloc_p, u_p = waterfill_batch(lam_p, caps_p, om_p, mu_p, W, bw, 1.0)
+        assert np.array_equal(alloc_p[:, keep], alloc)
+        assert np.array_equal(u_p, u)
+        assert not alloc_p[:, np.setdiff1d(np.arange(width), keep)].any()
+
+    @settings(max_examples=12, deadline=None)
+    @given(dims)
+    def test_starved_batched_vs_loop_bitwise(self, d):
+        """Batched vs loop bit-identity under bandwidth starvation — the
+        regime where the closed form (not the slack scan) produces the
+        returned rows."""
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        prob = _multi_problem(rng, N=N, K=K, T=T, C=C)
+        starved = JointProblem(
+            network=Network(
+                prob.network.catalog,
+                tuple(
+                    SmallBaseStation(
+                        s.sbs_id, s.cache_size, 0.4, s.replacement_cost
+                    )
+                    for s in prob.network.sbss
+                ),
+                prob.network.mu_classes,
+            ),
+            demand=prob.demand,
+        )
+        mu = _sparse_mu(rng, starved.y_shape)
+        (loop, loop_c) = _counters(
+            lambda: _solve_p2_fast(starved, mu, batched=False)
+        )
+        (batched, batched_c) = _counters(
+            lambda: _solve_p2_fast(starved, mu, batched=True)
+        )
+        assert np.array_equal(loop.y, batched.y)
+        assert loop.objective == batched.objective
+        assert loop_c == batched_c
+        assert (
+            loop_c["p2_bw_closed_form"] + loop_c["p2_bisection_fallbacks"]
+            == loop_c["p2_bw_bound_rows"]
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(dims, st.booleans())
+    def test_starved_solve_caching_cache_and_executors(self, d, with_cache):
+        """The end-to-end solve under starvation is invariant to the memo
+        cache and the executor, bit for bit."""
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C, bandwidth=0.4)
+        mu = _sparse_mu(rng, (T, net.num_classes, K), sparsity=0.6)
+        x0 = np.zeros((N, K))
+        base = solve_caching(net, mu, x0, backend="flow", config=BATCHED)
+        cached = solve_caching(
+            net, mu, x0, backend="flow", config=BATCHED,
+            cache=SolveCache() if with_cache else None,
+        )
+        threaded = solve_caching(
+            net, mu, x0, backend="flow", executor="thread:2", config=BATCHED
+        )
+        for other in (cached, threaded):
+            assert np.array_equal(base.x, other.x)
+            assert base.objective == other.objective
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 12), st.integers(2, 12))
+    def test_closed_form_off_counts_every_row_as_fallback(self, seed, R, J):
+        """closed_form=False demotes every bound row to the bisection;
+        the accounting identity must still hold with zero closed solves."""
+        rng = np.random.default_rng(seed)
+        lam, caps, omega, mu, W, bw = _bound_stack(rng, R, J)
+        if lam.shape[0] == 0:
+            return
+        (out, counters) = _counters(
+            lambda: waterfill_batch(
+                lam, caps, omega, mu, W, bw, 1.0, closed_form=False
+            )
+        )
+        assert counters["p2_bw_closed_form"] == 0
+        assert counters["p2_bw_bound_rows"] == lam.shape[0]
+        assert counters["p2_bisection_fallbacks"] == lam.shape[0]
+
+    def test_closed_form_covers_the_bulk_deterministic(self):
+        """On a pinned bound stack the certificate solves the vast
+        majority of rows closed-form; the fallback is the exception, not
+        the rule."""
+        rng = np.random.default_rng(0)
+        lam, caps, omega, mu, W, bw = _bound_stack(rng, 300, 24)
+        rows = lam.shape[0]
+        (_, counters) = _counters(
+            lambda: waterfill_batch(lam, caps, omega, mu, W, bw, 1.0)
+        )
+        assert counters["p2_bw_bound_rows"] == rows
+        assert (
+            counters["p2_bw_closed_form"] + counters["p2_bisection_fallbacks"]
+            == rows
+        )
+        assert counters["p2_bw_closed_form"] >= 0.9 * rows

@@ -8,6 +8,8 @@ import pytest
 
 from repro.config import (
     BACKEND_ENV,
+    BISECTION_ITERS_ENV,
+    BW_CLOSED_FORM_ENV,
     DEFAULT_SERVE_ADMISSION,
     DEFAULT_SERVE_QUEUE_DEPTH,
     DEFAULT_SERVE_RPS,
@@ -25,6 +27,8 @@ from repro.config import (
     deprecated_env,
     reset_deprecation_warnings,
     resolved_backend_pin,
+    resolved_bisection_iters,
+    resolved_bw_closed_form,
     resolved_flow_reuse,
     resolved_obs_slo,
     resolved_serve_admission,
@@ -51,6 +55,8 @@ def _clean_env(monkeypatch):
         SERVE_SLOT_SECONDS_ENV,
         SERVE_METRICS_PORT_ENV,
         OBS_SLO_ENV,
+        BW_CLOSED_FORM_ENV,
+        BISECTION_ITERS_ENV,
     ):
         monkeypatch.delenv(name, raising=False)
     reset_deprecation_warnings()
@@ -285,3 +291,55 @@ class TestWarnOnce:
             deprecated_env(FLOW_REUSE_ENV)
         messages = sorted(str(w.message).split(" ")[0] for w in caught)
         assert messages == [FLOW_REUSE_ENV, WORKERS_ENV]
+
+
+class TestWaterfillKnobs:
+    """arg > config > env > default for the P2 kernel knobs."""
+
+    def test_closed_form_default_on(self):
+        assert resolved_bw_closed_form(None) is True
+
+    def test_closed_form_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(BW_CLOSED_FORM_ENV, "0")
+        assert resolved_bw_closed_form(None) is False
+        monkeypatch.setenv(BW_CLOSED_FORM_ENV, "1")
+        assert resolved_bw_closed_form(None) is True
+
+    def test_closed_form_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BW_CLOSED_FORM_ENV, "0")
+        assert resolved_bw_closed_form(RuntimeConfig(bw_closed_form=True)) is True
+        monkeypatch.setenv(BW_CLOSED_FORM_ENV, "1")
+        assert (
+            resolved_bw_closed_form(RuntimeConfig(bw_closed_form=False)) is False
+        )
+
+    def test_closed_form_arg_beats_config(self):
+        cfg = RuntimeConfig(bw_closed_form=True)
+        assert resolved_bw_closed_form(cfg, False) is False
+        assert resolved_bw_closed_form(RuntimeConfig(bw_closed_form=False), True)
+
+    def test_bisection_iters_default(self):
+        assert resolved_bisection_iters(None) == 26
+
+    def test_bisection_iters_env(self, monkeypatch):
+        monkeypatch.setenv(BISECTION_ITERS_ENV, "40")
+        assert resolved_bisection_iters(None) == 40
+
+    def test_bisection_iters_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BISECTION_ITERS_ENV, "40")
+        assert resolved_bisection_iters(RuntimeConfig(bisection_iters=12)) == 12
+
+    def test_bisection_iters_arg_beats_config(self):
+        assert resolved_bisection_iters(RuntimeConfig(bisection_iters=12), 7) == 7
+
+    def test_bisection_iters_validated(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolved_bisection_iters(None, 0)
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(bisection_iters=0)
+        monkeypatch.setenv(BISECTION_ITERS_ENV, "zero")
+        with pytest.raises(ConfigurationError):
+            resolved_bisection_iters(None)
+        monkeypatch.setenv(BISECTION_ITERS_ENV, "-3")
+        with pytest.raises(ConfigurationError):
+            resolved_bisection_iters(None)
