@@ -43,7 +43,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.config import RuntimeConfig
+from repro.config import RuntimeConfig, resolved_batched_ties
 from repro.core.caching_lp import solve_caching
 from repro.core.load_balancing import solve_p2
 from repro.core.primal_dual import solve_primal_dual
@@ -73,7 +73,12 @@ HOT_ITEMS = 5
 LOOP_SAMPLE = 4  # SBSs measured on the loop path (the full 500 is the
 # infeasible case this bench exists to document)
 
-_COUNTERS = ("p1_memo_misses", "p1_batched_solves", "p1_batched_fallbacks")
+_COUNTERS = (
+    "p1_memo_misses",
+    "p1_batched_solves",
+    "p1_batched_capped",
+    "p1_batched_fallbacks",
+)
 _P2_COUNTERS = ("p2_bw_bound_rows", "p2_bw_closed_form", "p2_bisection_fallbacks")
 
 
@@ -271,6 +276,15 @@ def test_large_scale(save_report):
         == p1_counters["p1_memo_misses"]
         == NUM_SBS
     )
+    # With the tie-aware acceptance on (the default), the relaxed pass plus
+    # the exact capped kernel must answer (essentially) the whole stack —
+    # the per-SBS flow loop at K = 10,000 is exactly what this scale cannot
+    # afford to fall back to.
+    if resolved_batched_ties(None):
+        assert p1_counters["p1_batched_fallbacks"] <= 0.05 * NUM_SBS, (
+            f"{p1_counters['p1_batched_fallbacks']:.0f} of {NUM_SBS} SBSs "
+            "fell back to the per-SBS backends with batched_ties on"
+        )
 
     # The loop path on a subsample, to price what the batch replaced. The
     # subnetwork is a prefix slice, so SBS/class ids keep their positions.
@@ -319,6 +333,7 @@ def test_large_scale(save_report):
         "bench": "large",
         "scale": "large",
         "batched": True,
+        "batched_ties": resolved_batched_ties(None),
         "bw_closed_form": True,
         "workload": {
             "num_sbs": NUM_SBS,

@@ -204,6 +204,8 @@ def _cmd_bench(args: argparse.Namespace) -> dict | None:
         return _cmd_bench_diff(args)
     if getattr(args, "bench_command", None) == "matrix":
         return _cmd_bench_matrix(args)
+    if getattr(args, "bench_command", None) == "profile":
+        return _cmd_bench_profile(args)
     bench_dir = Path(args.path) if args.path else _default_bench_dir()
     if bench_dir is None or not bench_dir.is_dir():
         print(
@@ -271,6 +273,37 @@ def _cmd_bench_matrix(args: argparse.Namespace) -> dict | None:
         print("FAIL: a matrix cell drifted from the baseline cost metrics")
         raise SystemExit(1)
     return record
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> dict | None:
+    """``repro bench profile <leg>`` — run one leg under cProfile.
+
+    Emits ``PROFILE_<leg>.txt`` (deterministic top-N cumulative table,
+    repo-relative paths) next to the leg's ``BENCH_*.json`` so hot-spot
+    questions are answerable from CI artifacts.
+    """
+    from repro.perf.profiler import profile_bench
+
+    bench_dir = Path(args.path) if args.path else _default_bench_dir()
+    if bench_dir is None or not bench_dir.is_dir():
+        print(
+            "benchmark suite not found; pass --path <repo>/benchmarks",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        out = profile_bench(
+            args.leg,
+            bench_dir,
+            scale=args.scale,
+            top=args.top,
+            out_dir=Path(args.out) if args.out else None,
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2) from exc
+    print(f"[saved to {out}]")
+    return None
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> dict | None:
@@ -477,7 +510,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     pb.add_argument("--filter", type=str, default=None, help="pytest -k expression")
     pb.add_argument("--path", type=str, default=None, help="benchmarks directory")
-    pb_sub = pb.add_subparsers(dest="bench_command", metavar="{run,diff,matrix}")
+    pb_sub = pb.add_subparsers(
+        dest="bench_command", metavar="{run,diff,matrix,profile}"
+    )
     pb_run = pb_sub.add_parser("run", help="run the suite (the default)")
     # SUPPRESS keeps values parsed before the sub-verb ('bench --scale full
     # run') from being clobbered by the subparser's defaults.
@@ -502,6 +537,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     pb_matrix.add_argument(
         "--out", type=str, default=None, help="output directory for the record"
+    )
+    pb_profile = pb_sub.add_parser(
+        "profile",
+        help="run one bench leg under cProfile -> PROFILE_<leg>.txt",
+    )
+    pb_profile.add_argument(
+        "leg", help="bench leg name (e.g. 'headline' for bench_headline.py)"
+    )
+    pb_profile.add_argument(
+        "--scale", choices=("quick", "full", "paper"), default=argparse.SUPPRESS
+    )
+    pb_profile.add_argument("--path", type=str, default=argparse.SUPPRESS)
+    pb_profile.add_argument(
+        "--top", type=int, default=30, help="rows in the cumulative table"
+    )
+    pb_profile.add_argument(
+        "--out", type=str, default=None, help="output directory for the table"
     )
     pb_diff = pb_sub.add_parser(
         "diff", help="compare two BENCH_*.json records, gate on wall-time"

@@ -38,6 +38,13 @@ INCREMENTAL_ENV = "REPRO_INCREMENTAL"
 #: like :data:`INCREMENTAL_ENV`, so it does not warn. ``0`` disables.
 BATCHED_ENV = "REPRO_BATCHED"
 
+#: Supported switch for the tie-aware acceptance rule of the batched ``P1``
+#: certificate pass (default on). ``REPRO_BATCHED_TIES=0`` restores the
+#: strict-margin certificate — tie-degenerate rows fall back to the per-SBS
+#: backends — without changing any cost: the per-SBS backends resolve ties
+#: canonically either way, so CI A/Bs this switch under ``--gate-costs``.
+BATCHED_TIES_ENV = "REPRO_BATCHED_TIES"
+
 #: Supported switch for the closed-form bandwidth-bound ``P2`` water-fill
 #: (default on). ``REPRO_BW_CLOSED_FORM=0`` routes every bandwidth-bound
 #: row through the legacy bisection instead — the A/B reference path CI
@@ -153,6 +160,14 @@ class RuntimeConfig:
         ``P1`` certificate kernel with per-SBS fallback and the all-SBS
         ``P2`` water-fill with certificate early exit. ``REPRO_BATCHED=0``
         is the supported environment override.
+    batched_ties:
+        Whether the batched ``P1`` pass accepts tie-degenerate relaxed
+        optima via the tie-aware exact certificate (default on).
+        ``REPRO_BATCHED_TIES=0`` restores the strict-margin certificate,
+        so degenerate rows fall back to the per-SBS backends; costs are
+        unaffected either way (the per-SBS backends resolve ties with the
+        same canonical discipline), which is what makes the CI off/on A/B
+        gateable bit-for-bit.
     quantized_memo:
         Opt-in quantized ``P1`` memo key (default off): prices are rounded
         to a tolerance band before digesting so drifting-``mu`` iterations
@@ -202,6 +217,7 @@ class RuntimeConfig:
     flow_reuse: bool | None = None
     incremental: bool | None = None
     batched: bool | None = None
+    batched_ties: bool | None = None
     quantized_memo: bool | None = None
     bw_closed_form: bool | None = None
     bisection_iters: int | None = None
@@ -296,6 +312,13 @@ def resolved_batched(config: RuntimeConfig | None) -> bool:
     if config is not None and config.batched is not None:
         return config.batched
     return os.environ.get(BATCHED_ENV, "") != "0"
+
+
+def resolved_batched_ties(config: RuntimeConfig | None) -> bool:
+    """Tie-aware batched ``P1`` acceptance: config field, else env, else on."""
+    if config is not None and config.batched_ties is not None:
+        return config.batched_ties
+    return os.environ.get(BATCHED_TIES_ENV, "") != "0"
 
 
 def resolved_quantized_memo(config: RuntimeConfig | None) -> bool:

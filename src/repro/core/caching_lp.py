@@ -36,9 +36,11 @@ from repro.config import (
     RuntimeConfig,
     resolved_backend_pin,
     resolved_batched,
+    resolved_batched_ties,
     resolved_flow_reuse,
     resolved_quantized_memo,
 )
+from repro.core.capped import capped_cancel_stack
 from repro.exceptions import ConfigurationError, SolverError
 from repro.network.topology import Network
 from repro.obs.recorder import inc
@@ -203,7 +205,9 @@ def solve_caching(
     # subproblems whose certificate holds are solved here (and memoized),
     # the rest fall back to the exact per-SBS backends below.
     if resolved_batched(config) and miss_ns:
-        accepted = _solve_batched_p1(network, prices, x_initial, miss_ns)
+        accepted = _solve_batched_p1(
+            network, prices, x_initial, miss_ns, ties=resolved_batched_ties(config)
+        )
         if accepted:
             kept_ns: list[int] = []
             kept_keys: list[tuple[bytes, bytes | None]] = []
@@ -230,10 +234,16 @@ def solve_caching(
         x0_n = np.asarray(x_initial[n], dtype=np.float64)
         warm: FlowState | None = None
         state_key = (n, T, K, cap_n)
-        if cache is not None:
-            warm = cache.warm_state_for(state_key) if want_state else None
+        ws = want_state
+        if cache is not None and want_state:
+            if cache.is_resume_disabled(state_key):
+                # Resume is permanently off for this key: skip the state
+                # export too — nothing will ever consume it.
+                ws = False
+            else:
+                warm = cache.warm_state_for(state_key)
         miss_meta.append((n, key, state_key))
-        tasks.append((c_n, beta_n, cap_n, x0_n, backend, reuse, warm, want_state))
+        tasks.append((c_n, beta_n, cap_n, x0_n, backend, reuse, warm, ws))
 
     ex = resolve_executor(executor, config=config)
     if ex.workers > 1 and len(tasks) > 1:
@@ -241,7 +251,7 @@ def solve_caching(
     else:
         solved = [_solve_sbs_task(task) for task in tasks]
 
-    resumes = bailouts = 0
+    resumes = bailouts = disabled = 0
     for (n, key, state_key), (xn, obj, state, resumed, bailed) in zip(
         miss_meta, solved
     ):
@@ -251,7 +261,7 @@ def solve_caching(
             if state is not None:
                 cache.flow_states[state_key] = state
             if resumed:
-                cache.note_resume(state_key, bool(bailed))
+                disabled += cache.note_resume(state_key, bool(bailed))
             cache.warm_resumes += resumed
             cache.warm_bailouts += bailed
             resumes += resumed
@@ -271,6 +281,8 @@ def solve_caching(
             inc("flow_warm_resumes", resumes)
         if bailouts:
             inc("flow_warm_bailouts", bailouts)
+        if disabled:
+            inc("flow_warm_disabled_keys", disabled)
 
     x = np.zeros((T, network.num_sbs, K))
     objective = 0.0
@@ -325,42 +337,192 @@ def caching_objective(
 #: (bounds peak memory at roughly ten float64 tensors of this size).
 _BATCH_DP_CHUNK = 32_000_000
 
+_DP_EPS = float(np.finfo(np.float64).eps)
+
+
+def _relaxed_dp_stack(
+    C: FloatArray,
+    beta: FloatArray,
+    X0: FloatArray,
+    caps: FloatArray,
+    *,
+    ties: bool,
+) -> tuple[FloatArray, FloatArray]:
+    """Canonical cardinality-relaxed ``P1`` DP over a stack of SBSs.
+
+    Dropping the per-slot cardinality constraint makes ``P1`` separate per
+    *item* into an interval-selection problem — hold content ``k`` through
+    profitable time intervals, paying ``beta`` per insertion (free at
+    ``t = 0`` for initially cached items) — solved for every (SBS, item)
+    pair of the ``(B, T, K)`` stack simultaneously by one two-state DP
+    over the horizon. Every elementwise operation here is independent of
+    ``B``, so the ``B = 1`` call a per-SBS backend makes produces bitwise
+    the rows a stacked call would (the property
+    ``tests/test_batched.py::TestP1Ties`` pins).
+
+    Ties are resolved by one **canonical discipline** — prefer the
+    uncached state: enter as late as possible (``stay > enter``), leave as
+    early as possible (``V0 >= V1`` keeps the item out, final state
+    cached only on strict gain). Among all relaxed optima this picks the
+    pointwise-minimal occupancy one, which maximizes the chance of cap
+    feasibility below.
+
+    Acceptance (the returned ``ok`` mask) requires
+
+    * **certified decisions**: with ``ties=True`` every margin along the
+      backtracked path is either exactly ``0.0`` (a structural tie — the
+      canonical branch is taken) or strict beyond the float danger band
+      ``16 * eps * max(T, 4) * max(1, beta, max |c|)``, and the path's
+      value re-folds bitwise to the DP optimum; with ``ties=False`` the
+      legacy strict-margin rule (every on-path margin above
+      ``1e-9 * max(1, beta, max |c|)``) — bitwise the pre-tie-aware
+      acceptance set, because flipping the tie direction of a decision
+      can only matter on paths the legacy rule already rejected; and
+    * **cap feasibility**: the relaxed optimum satisfies the per-slot
+      cardinality caps.
+
+    A certified cap-feasible relaxed optimum is a true optimum of the
+    *constrained* problem (every feasible trajectory is relaxed-feasible),
+    so accepting it is exact. Sub-danger-band nonzero margins — decisions
+    whose sign could flip under a different float evaluation order — are
+    never accepted.
+    """
+    B, T, K = C.shape
+    bcol = np.asarray(beta, dtype=np.float64)[:, None]
+    scale = np.maximum(
+        1.0, np.maximum(bcol[:, 0], np.abs(C).max(axis=(1, 2)) if K else 0.0)
+    )[:, None]
+    if ties:
+        # Path values are <= T-term float sums: their error is below
+        # T * eps * scale, so margins beyond this band cannot change sign
+        # under any evaluation order, and nonzero margins inside it are
+        # treated as unsafe rather than as ties.
+        tol = (16.0 * _DP_EPS * max(T, 4)) * scale
+    else:
+        tol = 1e-9 * scale
+
+    # Forward pass: V1/V0 = best profit with the item cached/uncached in
+    # slot t.
+    take1 = np.empty((T, B, K), dtype=bool)  # cached at t <- cached at t-1
+    take0 = np.empty((T, B, K), dtype=bool)  # uncached at t <- uncached
+    m1 = np.empty((T, B, K))
+    m0 = np.empty((T, B, K))
+    fetch0 = np.where(X0 > 0.5, 0.0, bcol)
+    V1 = C[:, 0, :] - fetch0
+    V0 = np.zeros((B, K))
+    for t in range(1, T):
+        stay = V1
+        enter = V0 - bcol
+        take1[t] = stay > enter  # tie -> enter late
+        m1[t] = np.abs(stay - enter)
+        nV1 = np.maximum(stay, enter) + C[:, t, :]
+        take0[t] = V0 >= V1  # tie -> stay uncached
+        m0[t] = np.abs(V0 - V1)
+        V0 = np.maximum(V0, V1)
+        V1 = nV1
+
+    # Backtrack the optimal path, accumulating certification failures only
+    # along decisions the path actually takes.
+    x = np.zeros((B, T, K))
+    state = V1 > V0  # cache in the last slot only on strict gain
+    mfin = np.abs(V1 - V0)
+    fail = ((mfin > 0.0) & (mfin <= tol)) if ties else (mfin <= tol)
+    for t in range(T - 1, 0, -1):
+        x[:, t, :] = state
+        m = np.where(state, m1[t], m0[t])
+        fail |= ((m > 0.0) & (m <= tol)) if ties else (m <= tol)
+        state = np.where(state, take1[t], ~take0[t])
+    x[:, 0, :] = state
+
+    if ties:
+        # Fold the backtracked path's value with the DP's exact operation
+        # order and require bitwise agreement with the DP optimum — a
+        # belt-and-braces guard that the tie-resolved path really attains
+        # the optimal value (any pointer/value inconsistency fails here).
+        on = x[:, 0, :] > 0.5
+        acc = np.where(on, C[:, 0, :] - fetch0, 0.0)
+        for t in range(1, T):
+            on = x[:, t, :] > 0.5
+            was = x[:, t - 1, :] > 0.5
+            acc = np.where(
+                on & ~was,
+                (acc - bcol) + C[:, t, :],
+                np.where(on & was, acc + C[:, t, :], acc),
+            )
+        final = np.where(x[:, T - 1, :] > 0.5, V1, V0)
+        fail |= acc != final
+
+    counts = x.sum(axis=2)
+    ok = ~fail.any(axis=1) & (counts <= np.asarray(caps)[:, None]).all(axis=1)
+    return x, ok
+
+
+def _certified_canonical(
+    c: FloatArray, beta: float, cap: int, x0: FloatArray
+) -> tuple[FloatArray, float] | None:
+    """The canonical certified-exact ``P1`` optimum for one SBS, if any.
+
+    Runs :func:`_relaxed_dp_stack` with ``B = 1`` under the tie-aware
+    certificate; when the canonical relaxed optimum certifies and fits the
+    cap it *is* an optimum of the constrained problem. Cap-bound rows — the
+    relaxed optimum over-caps, which is the common case on the paper's
+    uniform-cost scenarios — go to the exact cap-constrained kernel
+    (:func:`repro.core.capped.capped_cancel_stack`) instead. Either way the
+    predicate is exactly the one the batched pass applies, so a per-SBS
+    backend that answers from it returns bitwise what the batched pass
+    would have returned for the same row: tie resolution is uniform across
+    every solve path by construction, not by reverse-engineering any
+    backend's internal order. Returns ``(x, objective)``, or ``None`` when
+    neither kernel certifies (the backend's own exact solve takes over).
+    """
+    C = np.ascontiguousarray(c, dtype=np.float64)[None]
+    beta_arr = np.asarray([float(beta)], dtype=np.float64)
+    X0 = np.asarray(x0, dtype=np.float64)[None]
+    caps = np.asarray([cap], dtype=np.float64)
+    x, ok = _relaxed_dp_stack(C, beta_arr, X0, caps, ties=True)
+    if not bool(ok[0]):
+        x, ok = capped_cancel_stack(C, beta_arr, X0, caps)
+        if not bool(ok[0]):
+            return None
+    xb = x[0]
+    return xb, _objective_single(c, beta, xb, x0)
+
 
 def _solve_batched_p1(
     network: Network,
     prices: FloatArray,
     x_initial: FloatArray,
     ns: list[int],
+    *,
+    ties: bool = True,
 ) -> dict[int, tuple[FloatArray, float]]:
-    """Vectorized cardinality-relaxed ``P1`` over a stack of SBSs.
+    """Vectorized certified-exact ``P1`` over a stack of SBSs.
 
-    Dropping the per-slot cardinality constraint makes ``P1`` separate per
-    *item* into an interval-selection problem — hold content ``k`` through
-    profitable time intervals, paying ``beta`` per insertion (free at
-    ``t = 0`` for initially cached items) — solved for every (SBS, item)
-    pair of the stack simultaneously by one two-state DP over the horizon.
-    A stacked subproblem is **accepted** only when
+    Two stages per memory-bounded chunk. One :func:`_relaxed_dp_stack`
+    call answers every row whose certified relaxed optimum fits the cap;
+    the cap-bound remainder — the storm case on the paper's uniform-cost
+    scenarios, where the relaxed optimum over-caps on (nearly) every row —
+    goes to the exact cap-constrained cancel kernel
+    (:func:`repro.core.capped.capped_cancel_stack`, counted as
+    ``p1_batched_capped``). Only rows neither stage certifies fall back to
+    the per-SBS backends.
 
-    * every DP decision along the backtracked optimal path is strict by an
-      absolute margin of ``1e-9 * max(1, beta, max |c|)`` — the relaxed
-      optimum is unique, and comfortably so under any float evaluation
-      order — and
-    * the relaxed optimum satisfies the per-slot cardinality caps.
-
-    A unique relaxed optimum that is feasible for the constrained problem
-    is the constrained problem's unique optimum (every other feasible
-    trajectory is relaxed-feasible, hence strictly worse), so any exact
-    backend must return this exact trajectory: acceptance is bit-identical
-    to the flow/LP path, not merely close. Rejected subproblems — price
-    ties (e.g. the all-zero first dual iterate) or caps exceeded — fall
-    back to the per-SBS backends. Returns ``{n: (x, objective)}`` for the
-    accepted SBSs, objectives evaluated by :func:`_objective_single`
-    exactly as the per-SBS backends do.
+    ``ties=True`` (the default, governed by
+    ``RuntimeConfig(batched_ties=...)`` / ``REPRO_BATCHED_TIES``) enables
+    the canonical tie discipline and the capped stage; ``ties=False``
+    restores the legacy strict-margin-only acceptance, which rejects every
+    tied or cap-bound row — the acceptance *rate* A/B CI runs. Either way
+    the accepted answers are bitwise what the per-SBS backends return,
+    because those backends answer from the same
+    :func:`_certified_canonical` predicate first. Returns
+    ``{n: (x, objective)}`` for the accepted SBSs, objectives evaluated by
+    :func:`_objective_single` exactly as the per-SBS backends do.
     """
     T = prices.shape[0]
     K = network.num_items
     idx = np.asarray(ns, dtype=np.intp)
     out: dict[int, tuple[FloatArray, float]] = {}
+    capped = 0
     chunk = max(1, _BATCH_DP_CHUNK // max(1, T * K))
     for start in range(0, idx.size, chunk):
         sel = idx[start : start + chunk]
@@ -368,51 +530,26 @@ def _solve_batched_p1(
         beta = network.replacement_costs[sel].astype(np.float64)
         caps = np.asarray(network.cache_sizes[sel])
         X0 = np.asarray(x_initial[sel], dtype=np.float64)
-        B = sel.size
-        tol = (
-            1e-9
-            * np.maximum(1.0, np.maximum(beta, np.abs(C).max(axis=(1, 2))))
-        )[:, None]
-
-        # Forward pass: V1/V0 = best profit with the item cached/uncached
-        # in slot t.
-        take1 = np.empty((T, B, K), dtype=bool)  # cached at t <- cached at t-1
-        take0 = np.empty((T, B, K), dtype=bool)  # uncached at t <- uncached
-        m1 = np.empty((T, B, K))
-        m0 = np.empty((T, B, K))
-        bcol = beta[:, None]
-        V1 = C[:, 0, :] - np.where(X0 > 0.5, 0.0, bcol)
-        V0 = np.zeros((B, K))
-        for t in range(1, T):
-            stay = V1
-            enter = V0 - bcol
-            take1[t] = stay >= enter
-            m1[t] = np.abs(stay - enter)
-            nV1 = np.maximum(stay, enter) + C[:, t, :]
-            take0[t] = V0 >= V1
-            m0[t] = np.abs(V0 - V1)
-            V0 = np.maximum(V0, V1)
-            V1 = nV1
-
-        # Backtrack the optimal path, accumulating strictness failures
-        # only along decisions the path actually takes.
-        x = np.zeros((B, T, K))
-        state = V1 > V0  # cache in the last slot only on strict gain
-        fail = np.abs(V1 - V0) <= tol
-        for t in range(T - 1, 0, -1):
-            x[:, t, :] = state
-            fail |= np.where(state, m1[t], m0[t]) <= tol
-            state = np.where(state, take1[t], ~take0[t])
-        x[:, 0, :] = state
-
-        counts = x.sum(axis=2)
-        ok = ~fail.any(axis=1) & (counts <= caps[:, None]).all(axis=1)
+        x, ok = _relaxed_dp_stack(C, beta, X0, caps, ties=ties)
         for b in np.flatnonzero(ok):
             xb = x[b]
             out[int(sel[b])] = (
                 xb,
                 _objective_single(C[b], float(beta[b]), xb, X0[b]),
             )
+        rest = np.flatnonzero(~ok)
+        if ties and rest.size:
+            xc, okc = capped_cancel_stack(C[rest], beta[rest], X0[rest], caps[rest])
+            for i in np.flatnonzero(okc):
+                b = int(rest[i])
+                xb = xc[i]
+                out[int(sel[b])] = (
+                    xb,
+                    _objective_single(C[b], float(beta[b]), xb, X0[b]),
+                )
+                capped += 1
+    if capped:
+        inc("p1_batched_capped", capped)
     return out
 
 
@@ -544,8 +681,18 @@ def _solve_single_sbs_flow(
     reuse: bool | None = None,
     warm_state: FlowState | None = None,
     want_state: bool = False,
+    canonical: bool = True,
 ):
     """Min-cost-flow solve for one SBS (see :func:`_build_flow_template`).
+
+    Tie-degenerate subproblems are answered by :func:`_certified_canonical`
+    before any flow work: the flow's own tie resolution is an accident of
+    Dijkstra settle order and the potentials earlier augmentations left
+    behind, so imposing the canonical discipline here (and identically in
+    the LP backend and the batched pass) is what makes every solve path
+    return the same bits on degenerate instances. ``canonical=False``
+    exposes the raw flow answer — tests use it to verify the canonical
+    trajectory attains the flow's optimal objective.
 
     ``reuse`` pools the built graph across solves of the same shape
     (default on; ``RuntimeConfig(flow_reuse=False)`` or the deprecated
@@ -563,6 +710,11 @@ def _solve_single_sbs_flow(
     if cap == 0:
         zero = np.zeros((T, K))
         return (zero, 0.0, None, 0, 0) if want_state else (zero, 0.0)
+    if canonical:
+        canon = _certified_canonical(c, beta, cap, x0)
+        if canon is not None:
+            xc, objc = canon
+            return (xc, objc, None, 0, 0) if want_state else (xc, objc)
     if reuse is None:
         reuse = resolved_flow_reuse(None)
 
@@ -617,8 +769,19 @@ def _solve_single_sbs_lp(
     x0: FloatArray,
     *,
     lp_backend: str,
+    canonical: bool = True,
 ) -> tuple[FloatArray, float]:
-    """Sparse LP of Eqs. 20-22 for one SBS; snaps and validates integrality."""
+    """Sparse LP of Eqs. 20-22 for one SBS; snaps and validates integrality.
+
+    Like the flow backend, tie-degenerate subproblems are answered by
+    :func:`_certified_canonical` first so every backend resolves ties with
+    the same canonical discipline (the LP's vertex choice on a degenerate
+    optimal face is solver-internal and not reproducible across backends).
+    """
+    if canonical and cap > 0:
+        canon = _certified_canonical(c, beta, cap, x0)
+        if canon is not None:
+            return canon
     T, K = c.shape
     n_x = T * K
 

@@ -12,6 +12,16 @@ including negative ones, via:
 
 Capacities are integers (cache slots), so augmentations are integral and
 termination is guaranteed.
+
+In the batched P1 path this per-SBS solver is the *fallback*, not the
+front door: the vectorized relaxed DP and the cap-constrained cancel
+kernel (:mod:`repro.core.capped`) answer the stacked rows first, and both
+certify optimality by the same criterion this solver terminates on — no
+improving arc (respectively, no negative cycle) left in the residual
+graph. The capped kernel's node layout mirrors this graph exactly (one
+hub per slot boundary, a split in/out node pair per ``(slot, item)``
+holding arc), so a row it certifies is bit-comparable against
+:func:`repro.core.caching_lp._solve_single_sbs_flow` in tests.
 """
 
 from __future__ import annotations

@@ -41,6 +41,7 @@ _RESULT_FIELDS = frozenset(
         "executor",
         "incremental",
         "bw_closed_form",
+        "batched_ties",
         "costs_identical",
         "executors_identical",
         "parallel_skipped",

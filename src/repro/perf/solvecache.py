@@ -18,7 +18,12 @@ make the repeats cheap (DESIGN.md, "Incremental re-solve"):
   negative residual cycles and every attempt bails to a cold solve — so
   consecutive bails put the state key on an exponential cooldown
   (:meth:`SolveCache.warm_state_for`), with periodic re-probes that
-  re-enable resumes as soon as the ascent settles into small steps.
+  re-enable resumes as soon as the ascent settles into small steps. A key
+  whose cooldown would exceed :data:`BACKOFF_CAP` has demonstrably
+  price-flip-dominated dynamics (every settle attempt burns the full SPFA
+  budget before bailing), so it is **disabled outright**: its state is
+  dropped, no further resumes are attempted for the life of the cache,
+  and the decision is counted (``flow_warm_disabled_keys``).
 - plain **hit/miss counters**, incremented by the owner in the parent
   process (ContextVars do not cross pool workers), so recorded metric
   streams stay byte-identical across serial/thread/process executors.
@@ -49,6 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 MEMO_LIMIT = 4096
 
 #: Longest resume cooldown (in skipped attempts) a key can accumulate.
+#: A strike that would push the cooldown past this cap permanently
+#: disables warm resume for the key instead (see :meth:`SolveCache.note_resume`).
 BACKOFF_CAP = 64
 
 
@@ -117,8 +124,16 @@ class SolveCache:
         whose settle failed so they fell back to a cold solve.
     resume_backoff:
         Per state key ``[strikes, cooldown]``: consecutive bails and the
-        number of upcoming attempts to skip (doubling per strike, capped
-        at :data:`BACKOFF_CAP`). A settled resume clears the entry.
+        number of upcoming attempts to skip (doubling per strike). A
+        settled resume clears the entry; a strike whose cooldown would
+        exceed :data:`BACKOFF_CAP` moves the key to ``resume_disabled``
+        instead.
+    resume_disabled:
+        State keys whose warm resume is permanently off for this cache's
+        lifetime: their bail streak exhausted the backoff schedule, so
+        every further attempt would burn the settle budget for nothing.
+        ``len(resume_disabled)`` is the ``flow_warm_disabled_keys``
+        counter.
     """
 
     memo: "OrderedDict[bytes, tuple[np.ndarray, float, bytes | None]]" = field(
@@ -136,6 +151,7 @@ class SolveCache:
     resume_backoff: "dict[tuple[int, int, int, int], list[int]]" = field(
         default_factory=dict
     )
+    resume_disabled: "set[tuple[int, int, int, int]]" = field(default_factory=set)
 
     def lookup(self, key: bytes) -> tuple[FloatArray, float] | None:
         """Return the memoized ``(x, objective)`` for ``key``, if present.
@@ -199,8 +215,11 @@ class SolveCache:
         """The stored warm state for ``state_key``, unless it is cooling down.
 
         Each call during a cooldown consumes one tick, so the key is
-        automatically re-probed when the cooldown runs out.
+        automatically re-probed when the cooldown runs out. Disabled keys
+        never return a state.
         """
+        if state_key in self.resume_disabled:
+            return None
         state = self.flow_states.get(state_key)
         if state is None:
             return None
@@ -210,14 +229,32 @@ class SolveCache:
             return None
         return state
 
-    def note_resume(self, state_key: tuple[int, int, int, int], bailed: bool) -> None:
-        """Record a resume outcome, updating the key's backoff schedule."""
+    def is_resume_disabled(self, state_key: tuple[int, int, int, int]) -> bool:
+        """Whether warm resume is permanently off for ``state_key``."""
+        return state_key in self.resume_disabled
+
+    def note_resume(self, state_key: tuple[int, int, int, int], bailed: bool) -> bool:
+        """Record a resume outcome, updating the key's backoff schedule.
+
+        Returns ``True`` when *this* outcome disabled the key: the bail
+        streak's next cooldown would exceed :data:`BACKOFF_CAP`, so rather
+        than re-probing forever the key's warm state is dropped and resume
+        is switched off for the cache's lifetime. Callers surface the
+        decision as the ``flow_warm_disabled_keys`` counter.
+        """
         if not bailed:
             self.resume_backoff.pop(state_key, None)
-            return
+            return False
         backoff = self.resume_backoff.setdefault(state_key, [0, 0])
         backoff[0] += 1
-        backoff[1] = min(1 << backoff[0], BACKOFF_CAP)
+        cooldown = 1 << backoff[0]
+        if cooldown > BACKOFF_CAP:
+            self.resume_backoff.pop(state_key, None)
+            self.flow_states.pop(state_key, None)
+            self.resume_disabled.add(state_key)
+            return True
+        backoff[1] = cooldown
+        return False
 
     @property
     def hit_rate(self) -> float:
@@ -234,4 +271,5 @@ class SolveCache:
             "p1_quant_memo_hits": self.quant_hits,
             "flow_warm_resumes": self.warm_resumes,
             "flow_warm_bailouts": self.warm_bailouts,
+            "flow_warm_disabled_keys": len(self.resume_disabled),
         }

@@ -24,6 +24,7 @@ from repro.core.caching_lp import (
     class_prices,
     solve_caching,
 )
+from repro.core.capped import capped_cancel_stack
 from repro.core.load_balancing import (
     _project_blocks_capped,
     _solve_p2_fast,
@@ -653,3 +654,182 @@ class TestBwBoundClosedForm:
             == rows
         )
         assert counters["p2_bw_closed_form"] >= 0.9 * rows
+
+
+class TestP1Ties:
+    """Degenerate stacks — tied and cap-bound rows — are *accepted* cases.
+
+    The paper's uniform-cost scenarios make (nearly) every P1 row either
+    tie-degenerate or cap-bound; the canonical discipline plus the exact
+    capped kernel must answer them in the batched pass, bitwise what the
+    per-SBS flow backend returns, instead of falling back row by row.
+    """
+
+    def _assert_all_accepted_match_flow(self, net, prices, x0, N):
+        accepted = _solve_batched_p1(net, prices, x0, list(range(N)))
+        assert set(accepted) == set(range(N)), (
+            f"degenerate rows fell back: accepted {sorted(accepted)} of {N}"
+        )
+        for n, (x_b, obj_b) in accepted.items():
+            x_f, obj_f = _solve_single_sbs_flow(
+                prices[:, n, :], float(net.sbss[n].replacement_cost),
+                int(net.sbss[n].cache_size), x0[n],
+            )
+            assert np.array_equal(x_b, x_f), f"SBS {n} trajectory differs"
+            assert obj_b == obj_f
+
+    @settings(max_examples=25, deadline=None)
+    @given(dims, st.floats(0.1, 3.0))
+    def test_uniform_price_stacks_accepted(self, d, value):
+        """Every item identically priced: maximal ties, cap-bound when the
+        uniform value clears the swap cost."""
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C, beta=float(rng.uniform(0.0, 2.0)))
+        prices = np.full((T, N, K), float(value))
+        x0 = np.zeros((N, K))
+        for n in range(N):
+            x0[n, rng.choice(K, size=rng.integers(0, C + 1), replace=False)] = 1.0
+        self._assert_all_accepted_match_flow(net, prices, x0, N)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dims)
+    def test_duplicated_item_stacks_accepted(self, d):
+        """Item columns duplicated so distinct items carry identical price
+        trajectories — the classic tied-argmax case."""
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C)
+        base = rng.uniform(0.0, 2.0, size=(T, N, max(1, K // 2)))
+        prices = np.empty((T, N, K))
+        for k in range(K):
+            prices[:, :, k] = base[:, :, k % base.shape[2]]
+        x0 = np.zeros((N, K))
+        self._assert_all_accepted_match_flow(net, prices, x0, N)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dims)
+    def test_zero_beta_stacks_accepted(self, d):
+        """Free replacement (beta = 0) ties every fetch/evict margin."""
+        seed, N, K, T, C = d
+        rng = np.random.default_rng(seed)
+        net = _multi_network(rng, N=N, K=K, C=C, beta=0.0)
+        prices = rng.uniform(0.0, 1.5, size=(T, N, K))
+        # Quantize to a coarse grid so exact cross-item ties are common.
+        prices = np.round(prices * 4.0) / 4.0
+        x0 = np.zeros((N, K))
+        for n in range(N):
+            x0[n, rng.choice(K, size=rng.integers(0, C + 1), replace=False)] = 1.0
+        self._assert_all_accepted_match_flow(net, prices, x0, N)
+
+    def test_ties_off_restores_the_fallback_storm(self, rng):
+        """The kill switch really is an acceptance-rate A/B: with
+        ``batched_ties=False`` the degenerate rows are punted to the
+        per-SBS backends (counted as fallbacks), with the default they are
+        answered in-batch — and the costs are identical either way."""
+        net = _multi_network(rng, N=4, K=8, C=2, beta=0.5)
+        # Uniform demand -> uniform prices -> every row cap-bound.
+        mu = np.full((3, net.num_classes, 8), 1.0)
+        x0 = np.zeros((4, 8))
+
+        rec_on = Recorder()
+        with record_into(rec_on):
+            on = solve_caching(net, mu, x0, backend="flow", config=BATCHED)
+        assert rec_on.metrics.counter("p1_batched_fallbacks") == 0
+        assert rec_on.metrics.counter("p1_batched_capped") > 0
+
+        rec_off = Recorder()
+        with record_into(rec_off):
+            off = solve_caching(
+                net, mu, x0, backend="flow",
+                config=RuntimeConfig(batched=True, batched_ties=False),
+            )
+        assert rec_off.metrics.counter("p1_batched_fallbacks") > 0
+        assert rec_off.metrics.counter("p1_batched_capped") == 0
+
+        # The A/B gates the *rate*; the answers must not move a bit.
+        assert np.array_equal(on.x, off.x)
+        assert on.objective == off.objective
+
+
+class TestCappedKernel:
+    """Exactness properties of the cap-constrained cancel kernel."""
+
+    def _instance(self, rng, B, T, K):
+        """Cap-bound-leaning stack: mostly-attractive items, small caps."""
+        C = rng.uniform(-0.2, 1.0, size=(B, T, K))
+        beta = rng.uniform(0.0, 0.8, size=B)
+        caps = rng.integers(1, max(2, K // 2 + 1), size=B)
+        x0 = np.zeros((B, K))
+        for b in range(B):
+            x0[b, rng.choice(K, size=rng.integers(0, caps[b] + 1), replace=False)] = 1.0
+        return C, beta, x0, caps
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 5),
+           st.integers(1, 6), st.integers(2, 8))
+    def test_accepted_rows_are_flow_optimal(self, seed, B, T, K):
+        rng = np.random.default_rng(seed)
+        C, beta, x0, caps = self._instance(rng, B, T, K)
+        x, ok = capped_cancel_stack(C, beta, x0, caps)
+        assert ok.any(), "kernel certified nothing on a benign stack"
+        for b in np.flatnonzero(ok):
+            xb = x[b]
+            # Feasible, binary, cap-respecting.
+            assert set(np.unique(xb)) <= {0.0, 1.0}
+            assert (xb.sum(axis=1) <= caps[b]).all()
+            obj = _objective_single(C[b], float(beta[b]), xb, x0[b])
+            _, obj_f = _solve_single_sbs_flow(
+                C[b], float(beta[b]), int(caps[b]), x0[b], canonical=False,
+            )
+            scale = max(1.0, abs(obj_f))
+            assert obj == pytest.approx(obj_f, abs=1e-9 * scale), (
+                f"row {b}: capped {obj} vs flow {obj_f}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 5),
+           st.integers(1, 5), st.integers(2, 7))
+    def test_stacked_equals_single_row(self, seed, B, T, K):
+        """B-elementwise discipline: a row's answer must not depend on its
+        batch-mates — stacked and B=1 runs agree bitwise."""
+        rng = np.random.default_rng(seed)
+        C, beta, x0, caps = self._instance(rng, B, T, K)
+        x, ok = capped_cancel_stack(C, beta, x0, caps)
+        for b in range(B):
+            x1, ok1 = capped_cancel_stack(
+                C[b : b + 1], beta[b : b + 1], x0[b : b + 1], caps[b : b + 1]
+            )
+            assert bool(ok1[0]) == bool(ok[b])
+            if ok[b]:
+                assert np.array_equal(x1[0], x[b])
+
+    def test_zero_cap_keeps_cache_empty(self, rng):
+        C = rng.uniform(0.0, 1.0, size=(2, 3, 4))
+        x, ok = capped_cancel_stack(
+            C, np.array([0.5, 0.0]), np.zeros((2, 4)), np.array([0, 0])
+        )
+        assert ok.all()
+        assert not x.any()
+
+    def test_full_cap_matches_flow(self, rng):
+        """cap = K removes the binding constraint; the kernel must still
+        answer exactly (the relaxed pass normally owns this regime)."""
+        C = rng.uniform(-0.5, 1.0, size=(3, 4, 5))
+        beta = np.array([0.0, 0.3, 1.0])
+        caps = np.array([5, 5, 5])
+        x0 = np.zeros((3, 5))
+        x, ok = capped_cancel_stack(C, beta, x0, caps)
+        for b in np.flatnonzero(ok):
+            obj = _objective_single(C[b], float(beta[b]), x[b], x0[b])
+            _, obj_f = _solve_single_sbs_flow(
+                C[b], float(beta[b]), 5, x0[b], canonical=False
+            )
+            assert obj == pytest.approx(obj_f, abs=1e-12)
+
+    def test_empty_stack_shapes(self):
+        x, ok = capped_cancel_stack(
+            np.zeros((0, 3, 4)), np.zeros(0), np.zeros((0, 4)), np.zeros(0, dtype=int)
+        )
+        assert x.shape == (0, 3, 4)
+        assert ok.shape == (0,)

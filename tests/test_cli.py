@@ -379,3 +379,46 @@ class TestBenchDiff:
         path.write_text(json.dumps({"hello": 1}))
         with pytest.raises(ValueError):
             main(["bench", "diff", str(path), str(path)])
+
+
+class TestBenchProfile:
+    """``repro bench profile`` — the cProfile artifact entry point."""
+
+    def test_unknown_leg_exits_2(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "bench_fake.py").write_text("def test_ok():\n    pass\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "profile", "nosuch", "--path", str(tmp_path)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "nosuch" in err
+        assert "fake" in err  # the available legs are listed
+
+    def test_missing_bench_dir_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["bench", "profile", "headline", "--path", str(tmp_path / "nope")]
+            )
+        assert exc.value.code == 2
+        assert "benchmark suite not found" in capsys.readouterr().err
+
+    def test_profiles_a_leg_end_to_end(self, tmp_path, capsys, monkeypatch):
+        """A stub leg profiled through the real pytest runner lands as the
+        deterministic table next to the leg's results."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        (tmp_path / "bench_fake.py").write_text(
+            "def test_spin():\n    assert sum(range(1000)) == 499500\n"
+        )
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "bench", "profile", "fake",
+                "--path", str(tmp_path),
+                "--out", str(out_dir),
+                "--top", "5",
+            ]
+        )
+        assert code in (0, None)
+        table = (out_dir / "PROFILE_fake.txt").read_text()
+        assert table.startswith("profile: bench leg 'fake' at scale 'quick'")
+        assert "ncalls" in table
+        assert "[saved to" in capsys.readouterr().out

@@ -9,6 +9,7 @@ import pytest
 from repro.config import (
     BACKEND_ENV,
     BISECTION_ITERS_ENV,
+    BATCHED_TIES_ENV,
     BW_CLOSED_FORM_ENV,
     DEFAULT_SERVE_ADMISSION,
     DEFAULT_SERVE_QUEUE_DEPTH,
@@ -27,6 +28,7 @@ from repro.config import (
     deprecated_env,
     reset_deprecation_warnings,
     resolved_backend_pin,
+    resolved_batched_ties,
     resolved_bisection_iters,
     resolved_bw_closed_form,
     resolved_flow_reuse,
@@ -343,3 +345,32 @@ class TestWaterfillKnobs:
         monkeypatch.setenv(BISECTION_ITERS_ENV, "-3")
         with pytest.raises(ConfigurationError):
             resolved_bisection_iters(None)
+
+
+class TestBatchedTiesKnob:
+    """config > env > default for the tie-aware batched P1 acceptance.
+
+    ``REPRO_BATCHED_TIES`` is a *supported* kill switch (the CI A/B leg
+    sets it), not a deprecated fallback — resolution never warns.
+    """
+
+    def test_default_on(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolved_batched_ties(None) is True
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(BATCHED_TIES_ENV, "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolved_batched_ties(None) is False
+        monkeypatch.setenv(BATCHED_TIES_ENV, "1")
+        assert resolved_batched_ties(None) is True
+
+    def test_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BATCHED_TIES_ENV, "0")
+        assert resolved_batched_ties(RuntimeConfig(batched_ties=True)) is True
+        monkeypatch.setenv(BATCHED_TIES_ENV, "1")
+        assert (
+            resolved_batched_ties(RuntimeConfig(batched_ties=False)) is False
+        )

@@ -18,6 +18,7 @@ from repro.perf.executor import (
     parse_spec,
     resolve_executor,
 )
+from repro.perf.profiler import profile_bench, render_profile
 from repro.perf.timers import StageTimers
 
 
@@ -229,3 +230,64 @@ class TestMapRecorded:
         # never directly in the ambient parent
         assert parent.events == []
         assert [e.kind for e in recorder.events] == ["slot_start"]
+
+
+class TestProfiler:
+    """profile_bench with an injected runner, and table determinism."""
+
+    def test_injected_runner_writes_table(self, tmp_path):
+        calls = []
+
+        def runner():
+            calls.append(1)
+            sorted(range(500), key=lambda v: -v)
+
+        out = profile_bench("bench_fake.py", tmp_path, runner=runner, top=10)
+        assert calls == [1]
+        # Leg name is normalized and the artifact lands in results/.
+        assert out == tmp_path / "results" / "PROFILE_fake.txt"
+        table = out.read_text()
+        assert "functions by cumulative time" in table
+        assert f"{'ncalls':>12} {'tottime':>10} {'cumtime':>10}" in table
+
+    def test_out_dir_override(self, tmp_path):
+        target = tmp_path / "elsewhere"
+        out = profile_bench(
+            "fake", tmp_path, runner=lambda: None, out_dir=target
+        )
+        assert out == target / "PROFILE_fake.txt"
+        assert out.is_file()
+
+    def test_render_is_deterministic_and_relative(self, tmp_path):
+        import cProfile
+        import pstats
+
+        def work():
+            return [str(v) for v in range(200)]
+
+        prof = cProfile.Profile()
+        prof.enable()
+        work()
+        prof.disable()
+        stats = pstats.Stats(prof)
+        a = render_profile(stats, repo_root=tmp_path, top=5, header="h")
+        b = render_profile(stats, repo_root=tmp_path, top=5, header="h")
+        assert a == b  # stable sort: identical rows in identical order
+        assert a.startswith("h\n")
+        # Interpreter-install prefixes never leak into the table.
+        assert "site-packages/" not in a
+
+    def test_unknown_leg_lists_available(self, tmp_path):
+        (tmp_path / "bench_one.py").write_text("")
+        (tmp_path / "bench_two.py").write_text("")
+        with pytest.raises(FileNotFoundError, match="one, two"):
+            profile_bench("zzz", tmp_path)
+
+    def test_failing_leg_raises(self, tmp_path):
+        def runner():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            profile_bench("fake", tmp_path, runner=runner)
+        # The profiler must not leave a stale artifact behind on failure.
+        assert not (tmp_path / "results" / "PROFILE_fake.txt").exists()

@@ -97,6 +97,7 @@ class TestSolveCacheMemo:
             "p1_quant_memo_hits",
             "flow_warm_resumes",
             "flow_warm_bailouts",
+            "flow_warm_disabled_keys",
         }
 
 
@@ -116,16 +117,36 @@ class TestResumeBackoff:
         assert skips == 4
         assert cache.warm_state_for(key) == "state"
 
-    def test_cooldown_caps_and_success_clears(self):
+    def test_success_clears_backoff(self):
         cache = SolveCache()
         key = (0, 3, 4, 2)
         cache.flow_states[key] = "state"
-        for _ in range(12):
+        for _ in range(5):
             cache.note_resume(key, bailed=True)
-        assert cache.resume_backoff[key][1] == BACKOFF_CAP
+        assert cache.resume_backoff[key][1] == 32
         cache.note_resume(key, bailed=False)
         assert key not in cache.resume_backoff
         assert cache.warm_state_for(key) == "state"
+
+    def test_exhausted_backoff_disables_key(self):
+        cache = SolveCache()
+        key = (0, 3, 4, 2)
+        cache.flow_states[key] = "state"
+        # Strikes 1..6 schedule cooldowns 2..BACKOFF_CAP; the next strike
+        # would need double the cap and disables the key instead.
+        strikes_to_disable = BACKOFF_CAP.bit_length()
+        disabled = [
+            cache.note_resume(key, bailed=True) for _ in range(strikes_to_disable)
+        ]
+        assert disabled == [False] * (strikes_to_disable - 1) + [True]
+        assert cache.is_resume_disabled(key)
+        assert cache.warm_state_for(key) is None
+        assert key not in cache.flow_states  # state dropped, not retained
+        assert key not in cache.resume_backoff
+        assert cache.stats()["flow_warm_disabled_keys"] == 1
+        # A disabled key stays disabled: further outcomes change nothing.
+        assert cache.note_resume(key, bailed=False) is False
+        assert cache.is_resume_disabled(key)
 
 
 @settings(max_examples=20, deadline=None)
